@@ -1,0 +1,544 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact — see DESIGN.md's per-experiment index), plus
+// micro-benchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks execute the complete pipeline (generate data →
+// PARIS → ALEX to convergence) and report the paper's headline metrics as
+// custom benchmark units (final F-measure, episodes to convergence, links
+// discovered) so the series can be read straight off the bench output.
+package alex_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"alex/internal/core"
+	"alex/internal/datagen"
+	"alex/internal/experiment"
+	"alex/internal/feature"
+	"alex/internal/fed"
+	"alex/internal/linkset"
+	"alex/internal/paris"
+	"alex/internal/rdf"
+	"alex/internal/sim"
+	"alex/internal/sparql"
+)
+
+// benchSeed keeps every benchmark deterministic.
+const benchSeed = 42
+
+func batchCfg() core.Config {
+	c := core.Defaults()
+	c.EpisodeSize = 100
+	c.Partitions = 8
+	c.Seed = benchSeed
+	return c
+}
+
+func domainCfg() core.Config {
+	c := core.Defaults()
+	c.EpisodeSize = 10
+	c.Partitions = 2
+	c.MaxEpisodes = 60
+	c.Seed = benchSeed
+	return c
+}
+
+// runQuality executes one full pipeline per iteration and reports the
+// figure's headline numbers.
+func runQuality(b *testing.B, spec datagen.PairSpec, cfg core.Config) {
+	b.Helper()
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Run(experiment.RunConfig{Spec: spec, Core: cfg, Seed: benchSeed})
+	}
+	b.ReportMetric(res.Final.FMeasure, "final-F")
+	b.ReportMetric(res.Final.Recall, "final-R")
+	b.ReportMetric(res.Final.Precision, "final-P")
+	b.ReportMetric(float64(len(res.Points)), "episodes")
+	b.ReportMetric(float64(res.NewCorrect), "new-links")
+}
+
+// --- Table 1 ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := mustExperiment(b, "table1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2: batch mode quality ---
+
+func BenchmarkFig2aDBpediaNYTimes(b *testing.B) {
+	runQuality(b, datagen.DBpediaNYTimes(1, benchSeed), batchCfg())
+}
+
+func BenchmarkFig2bDBpediaDrugbank(b *testing.B) {
+	runQuality(b, datagen.DBpediaDrugbank(1, benchSeed), batchCfg())
+}
+
+func BenchmarkFig2cDBpediaLexvo(b *testing.B) {
+	runQuality(b, datagen.DBpediaLexvo(1, benchSeed), batchCfg())
+}
+
+// --- Figure 3: OpenCyc pairs ---
+
+func BenchmarkFig3aOpenCycNYTimes(b *testing.B) {
+	runQuality(b, datagen.OpenCycNYTimes(1, benchSeed), batchCfg())
+}
+
+func BenchmarkFig3bOpenCycDrugbank(b *testing.B) {
+	runQuality(b, datagen.OpenCycDrugbank(1, benchSeed), batchCfg())
+}
+
+func BenchmarkFig3cOpenCycLexvo(b *testing.B) {
+	runQuality(b, datagen.OpenCycLexvo(1, benchSeed), batchCfg())
+}
+
+// --- Figure 4: specific domains ---
+
+func BenchmarkFig4aDBpediaDogfood(b *testing.B) {
+	runQuality(b, datagen.DBpediaDogfood(1, benchSeed), domainCfg())
+}
+
+func BenchmarkFig4bOpenCycDogfood(b *testing.B) {
+	runQuality(b, datagen.OpenCycDogfood(1, benchSeed), domainCfg())
+}
+
+func BenchmarkFig4cNBADBpediaNYTimes(b *testing.B) {
+	runQuality(b, datagen.NBADBpediaNYTimes(1, benchSeed), domainCfg())
+}
+
+func BenchmarkFig4dNBAOpenCycNYTimes(b *testing.B) {
+	runQuality(b, datagen.NBAOpenCycNYTimes(1, benchSeed), domainCfg())
+}
+
+// --- Figure 5: search-space filtering ---
+
+func BenchmarkFig5SearchSpaceFilter(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(1, benchSeed))
+	parts := feature.Partition(pair.DS1.Subjects(), 8)
+	b.ResetTimer()
+	var sp *feature.Space
+	for i := 0; i < b.N; i++ {
+		sp = feature.Build(pair.DS1, parts[0], pair.DS2, feature.DefaultOptions())
+	}
+	b.ReportMetric(float64(sp.TotalPairs()), "total-pairs")
+	b.ReportMetric(float64(sp.Len()), "filtered-pairs")
+	b.ReportMetric(100*float64(sp.Len())/float64(sp.TotalPairs()), "filtered-%")
+}
+
+// --- Figure 6: blacklist ablation ---
+
+func BenchmarkFig6Blacklist(b *testing.B) {
+	b.Run("with", func(b *testing.B) {
+		var res *experiment.Result
+		for i := 0; i < b.N; i++ {
+			res = experiment.Run(experiment.RunConfig{
+				Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: batchCfg(), Seed: benchSeed,
+			})
+		}
+		b.ReportMetric(avgNegShare(res), "avg-neg-%")
+		b.ReportMetric(res.Final.FMeasure, "final-F")
+	})
+	b.Run("without", func(b *testing.B) {
+		var res *experiment.Result
+		for i := 0; i < b.N; i++ {
+			res = experiment.Run(experiment.RunConfig{
+				Spec: datagen.DBpediaNYTimes(1, benchSeed),
+				Core: batchCfg().DisableBlacklist(), Seed: benchSeed,
+			})
+		}
+		b.ReportMetric(avgNegShare(res), "avg-neg-%")
+		b.ReportMetric(res.Final.FMeasure, "final-F")
+	})
+}
+
+// --- Figure 7: rollback ablation ---
+
+func BenchmarkFig7Rollback(b *testing.B) {
+	b.Run("with", func(b *testing.B) {
+		var res *experiment.Result
+		for i := 0; i < b.N; i++ {
+			res = experiment.Run(experiment.RunConfig{
+				Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: batchCfg(), Seed: benchSeed,
+			})
+		}
+		b.ReportMetric(res.Final.FMeasure, "final-F")
+		b.ReportMetric(float64(len(res.Points)), "episodes")
+	})
+	b.Run("without", func(b *testing.B) {
+		var res *experiment.Result
+		for i := 0; i < b.N; i++ {
+			res = experiment.Run(experiment.RunConfig{
+				Spec: datagen.DBpediaNYTimes(1, benchSeed),
+				Core: batchCfg().DisableRollback(), Seed: benchSeed,
+			})
+		}
+		b.ReportMetric(res.Final.FMeasure, "final-F")
+		b.ReportMetric(float64(len(res.Points)), "episodes")
+	})
+}
+
+// --- Figure 8: multi-domain stress test ---
+
+func BenchmarkFig8MultiDomain(b *testing.B) {
+	runQuality(b, datagen.DBpediaOpenCyc(1, benchSeed), batchCfg())
+}
+
+// --- Figure 9: incorrect feedback ---
+
+func BenchmarkFig9IncorrectFeedback(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+		bl   int
+	}{{"clean", 0, 1}, {"err10pct", 0.10, 3}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			// The noisy run uses the noise-tolerant blacklist threshold,
+			// matching the fig9 experiment (see Config.BlacklistNegatives).
+			cfg.BlacklistNegatives = tc.bl
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg,
+					ErrorRate: tc.rate, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(res.Final.Recall, "final-R")
+			b.ReportMetric(res.Final.Precision, "final-P")
+		})
+	}
+}
+
+// --- Figure 10: step-size sensitivity ---
+
+func BenchmarkFig10StepSize(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		step float64
+	}{{"0.01", 0.01}, {"0.05", 0.05}, {"0.10", 0.10}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			cfg.StepSize = tc.step
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(res.Final.Recall, "final-R")
+			b.ReportMetric(avgNegShare(res), "avg-neg-%")
+		})
+	}
+}
+
+// --- Figure 11: episode-size sensitivity ---
+
+func BenchmarkFig11EpisodeSize(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		size int
+	}{{"50", 50}, {"100", 100}, {"150", 150}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			cfg.EpisodeSize = tc.size
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(float64(len(res.Points)), "episodes")
+		})
+	}
+}
+
+// --- Section 7.3: execution time ---
+
+func BenchmarkTimingBatch(b *testing.B) {
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Run(experiment.RunConfig{
+			Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: batchCfg(), Seed: benchSeed,
+		})
+	}
+	perEpisode := res.Duration.Seconds() / float64(maxInt(1, len(res.Points)))
+	b.ReportMetric(perEpisode*1000, "ms/episode")
+}
+
+func BenchmarkTimingDomain(b *testing.B) {
+	var res *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Run(experiment.RunConfig{
+			Spec: datagen.NBADBpediaNYTimes(1, benchSeed), Core: domainCfg(), Seed: benchSeed,
+		})
+	}
+	perEpisode := res.Duration.Seconds() / float64(maxInt(1, len(res.Points)))
+	b.ReportMetric(perEpisode*1000, "ms/episode")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkStoreMatchBySubject(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(1, benchSeed))
+	subjects := pair.DS1.Subjects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := subjects[i%len(subjects)]
+		pair.DS1.Match(s, rdf.NoTerm, rdf.NoTerm)
+	}
+}
+
+func BenchmarkSPARQLParse(b *testing.B) {
+	q := `PREFIX dbo: <http://dbpedia.sim/ontology/>
+	SELECT DISTINCT ?p ?t WHERE {
+		?p dbo:team ?t ; dbo:position "PG" .
+		OPTIONAL { ?p dbo:height ?h }
+		FILTER(REGEX(?t, "^[A-Z]") && ?t != "None")
+	} ORDER BY ?p LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLExecuteJoin(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	q, err := sparql.Parse(`SELECT ?p ?t WHERE {
+		?p <http://dbpedia.sim/ontology/position> "PG" .
+		?p <http://dbpedia.sim/ontology/team> ?t .
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Eval(pair.DS1, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarityStringSim(b *testing.B) {
+	pairs := [][2]string{
+		{"LeBron James", "James, LeBron"},
+		{"University of Waterloo", "Univeristy of Waterloo"},
+		{"Global Pacific Media", "Global Pacific Media Group"},
+		{"completely different", "nothing alike here"},
+	}
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sim.StringSim(p[0], p[1])
+	}
+}
+
+func BenchmarkParisLink(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paris.Link(pair.DS1, pair.DS2, paris.DefaultConfig())
+	}
+}
+
+func BenchmarkFeatureSpaceBuild(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	subjects := pair.DS1.Subjects()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feature.Build(pair.DS1, subjects, pair.DS2, feature.DefaultOptions())
+	}
+}
+
+func BenchmarkFeatureExplore(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	sp := feature.Build(pair.DS1, pair.DS1.Subjects(), pair.DS2, feature.DefaultOptions())
+	feats := sp.Features()
+	rng := rand.New(rand.NewSource(benchSeed))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := feats[i%len(feats)]
+		v := rng.Float64()
+		sp.ExploreN(f, v, 0.05, 400)
+	}
+}
+
+func BenchmarkEngineEpisode(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	scored := paris.Link(pair.DS1, pair.DS2, paris.DefaultConfig())
+	links := make([]linkset.Link, len(scored))
+	for i, s := range scored {
+		links[i] = s.Link
+	}
+	cfg := domainCfg()
+	cfg.MaxEpisodes = 1 << 30 // never converge by cap within the bench
+	engine := core.New(pair.DS1, pair.DS2, cfg)
+	engine.SetInitialLinks(links)
+	judge := func(l linkset.Link) bool { return pair.Truth.Contains(l) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RunEpisode(judge)
+	}
+}
+
+// --- helpers ---
+
+func mustExperiment(b *testing.B, id string) error {
+	b.Helper()
+	e, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	return e.Run(io.Discard, experiment.Options{Seed: benchSeed})
+}
+
+func avgNegShare(res *experiment.Result) float64 {
+	if len(res.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range res.Points {
+		sum += p.NegShare
+	}
+	return 100 * sum / float64(len(res.Points))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Design-choice ablations (see DESIGN.md) ---
+
+// BenchmarkAblationFeaturePrior measures the cross-state feature-
+// distinctiveness prior: without it the engine is the paper's literal
+// per-state learner and must rediscover indistinct features at every state.
+func BenchmarkAblationFeaturePrior(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"with", false}, {"without", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			if tc.disable {
+				cfg = cfg.DisableFeaturePrior()
+			}
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(float64(len(res.Points)), "episodes")
+		})
+	}
+}
+
+// BenchmarkAblationMaxExplored sweeps the per-action exploration bound.
+func BenchmarkAblationMaxExplored(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{{"100", 100}, {"400", 400}, {"unlimited", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			cfg.MaxExplored = tc.cap
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(res.Final.Recall, "final-R")
+			b.ReportMetric(float64(len(res.Points)), "episodes")
+		})
+	}
+}
+
+// BenchmarkAblationEpsilon sweeps the exploration rate of the policy.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		eps  float64
+	}{{"0.05", 0.05}, {"0.10", 0.10}, {"0.20", 0.20}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			cfg.Epsilon = tc.eps
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(float64(len(res.Points)), "episodes")
+		})
+	}
+}
+
+// BenchmarkFedJoinReorder measures the federated optimizer: a query written
+// worst-pattern-first, with and without selectivity reordering.
+func BenchmarkFedJoinReorder(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(0.5, benchSeed))
+	query := `SELECT ?p ?name WHERE {
+		?p <http://dbpedia.sim/ontology/label> ?anything .
+		?p <http://nytimes.sim/ontology/prefLabel> ?name .
+		?p <http://dbpedia.sim/ontology/position> "PG" .
+	}`
+	for _, tc := range []struct {
+		name    string
+		reorder bool
+	}{{"reordered", true}, {"naive", false}} {
+		b.Run(tc.name, func(b *testing.B) {
+			federation := fed.New(pair.Dict, pair.DS1, pair.DS2)
+			federation.SetLinks(pair.Truth)
+			if !tc.reorder {
+				federation.DisableReorder()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := federation.Execute(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPolicy compares the paper's ε-greedy policy against
+// Boltzmann (softmax) action selection.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy string
+	}{{"egreedy", "egreedy"}, {"softmax", "softmax"}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := batchCfg()
+			cfg.Policy = tc.policy
+			cfg.Temperature = 0.4
+			var res *experiment.Result
+			for i := 0; i < b.N; i++ {
+				res = experiment.Run(experiment.RunConfig{
+					Spec: datagen.DBpediaNYTimes(1, benchSeed), Core: cfg, Seed: benchSeed,
+				})
+			}
+			b.ReportMetric(res.Final.FMeasure, "final-F")
+			b.ReportMetric(res.Final.Recall, "final-R")
+			b.ReportMetric(float64(len(res.Points)), "episodes")
+		})
+	}
+}

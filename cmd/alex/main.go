@@ -1,0 +1,89 @@
+// Command alex runs the paper-reproduction experiments: every table and
+// figure of "ALEX: Automatic Link Exploration in Linked Data" has an
+// experiment id (see -list). Results print to stdout in the shape the paper
+// reports (per-episode precision/recall/F-measure series, search-space
+// counts, sensitivity sweeps).
+//
+// Usage:
+//
+//	alex -list
+//	alex -exp fig2a
+//	alex -exp all -scale 0.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"alex/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (or 'all')")
+		list   = flag.Bool("list", false, "list available experiments")
+		scale  = flag.Float64("scale", 1, "data-set size multiplier")
+		seed   = flag.Int64("seed", 42, "random seed")
+		svgDir = flag.String("svg", "", "also render the experiment's figure(s) as SVG into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiment.Experiments {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("  all      run everything in paper order")
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: alex -exp <id> [-scale N] [-seed N]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiment.Options{Scale: *scale, Seed: *seed}
+	if *exp == "all" {
+		if err := experiment.RunAll(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "alex:", err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			for _, e := range experiment.Experiments {
+				renderSVG(e.ID, opt, *svgDir)
+			}
+		}
+		return
+	}
+	e, ok := experiment.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "alex: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := e.Run(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "alex:", err)
+		os.Exit(1)
+	}
+	if *svgDir != "" {
+		renderSVG(*exp, opt, *svgDir)
+	}
+}
+
+// renderSVG writes the experiment's figure files (if it has a graphical
+// form) into dir.
+func renderSVG(id string, opt experiment.Options, dir string) {
+	figs, err := experiment.RenderFigures(id, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alex: rendering %s: %v\n", id, err)
+		return
+	}
+	for name, svg := range figs {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "alex:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}

@@ -1,0 +1,169 @@
+// Command datagen materializes one of the synthetic linked-data scenarios
+// as N-Triples files plus a ground-truth sameAs link file, so the data the
+// experiments run on can be inspected, diffed or loaded into other tools
+// (including cmd/fedsparql).
+//
+// Usage:
+//
+//	datagen -list
+//	datagen -scenario dbpedia-nytimes -out /tmp/data
+//	datagen -scenario nba-dbpedia-nytimes -scale 0.5 -seed 7 -out .
+//
+// Three files are written to -out: <ds1>.nt, <ds2>.nt and truth.nt (the
+// ground-truth owl:sameAs statements).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"alex/internal/datagen"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "scenario id (see -list)")
+		list     = flag.Bool("list", false, "list scenarios")
+		scale    = flag.Float64("scale", 1, "data-set size multiplier")
+		seed     = flag.Int64("seed", 42, "random seed")
+		out      = flag.String("out", ".", "output directory")
+		format   = flag.String("format", "nt", "output format: nt (N-Triples) or ttl (Turtle)")
+	)
+	flag.Parse()
+
+	if *list || *scenario == "" {
+		fmt.Println("scenarios:")
+		for _, s := range datagen.Scenarios {
+			fmt.Printf("  %-22s %s\n", s.ID, s.Desc)
+		}
+		if *scenario == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: datagen -scenario <id> [-out dir]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	sc, ok := datagen.ScenarioByID(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "datagen: unknown scenario %q (try -list)\n", *scenario)
+		os.Exit(2)
+	}
+	if *format != "nt" && *format != "ttl" {
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	pair := datagen.GeneratePair(sc.Spec(*scale, *seed))
+	if err := writeStore(*out, pair.DS1, *format); err != nil {
+		fatal(err)
+	}
+	if err := writeStore(*out, pair.DS2, *format); err != nil {
+		fatal(err)
+	}
+	if err := writeTruth(*out, pair); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d triples), %s (%d triples), truth.nt (%d links) to %s\n",
+		fileNameExt(pair.DS1, *format), pair.DS1.Len(), fileNameExt(pair.DS2, *format), pair.DS2.Len(),
+		pair.Truth.Len(), *out)
+}
+
+func fileNameExt(s *store.Store, ext string) string {
+	return strings.ToLower(strings.ReplaceAll(s.Name(), " ", "_")) + "." + ext
+}
+
+func writeStore(dir string, s *store.Store, format string) error {
+	f, err := os.Create(filepath.Join(dir, fileNameExt(s, format)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == "ttl" {
+		w := rdf.NewTurtleWriter(f, turtlePrefixes(s))
+		for _, t := range s.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) {
+			w.Write(s.Dict().Materialize(t))
+		}
+		return w.Flush()
+	}
+	w := rdf.NewWriter(f)
+	for _, t := range s.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) {
+		if err := w.Write(s.Dict().Materialize(t)); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// turtlePrefixes derives prefix declarations from the most common IRI
+// namespaces in the store (split at the last '/' or '#').
+func turtlePrefixes(s *store.Store) map[string]string {
+	counts := map[string]int{}
+	note := func(t rdf.Term) {
+		if !t.IsIRI() {
+			return
+		}
+		v := t.Value
+		cut := strings.LastIndexByte(v, '/')
+		if h := strings.LastIndexByte(v, '#'); h > cut {
+			cut = h
+		}
+		if cut > 8 { // past "https://"
+			counts[v[:cut+1]]++
+		}
+	}
+	for _, tid := range s.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) {
+		t := s.Dict().Materialize(tid)
+		note(t.S)
+		note(t.P)
+		note(t.O)
+	}
+	type nsCount struct {
+		ns string
+		n  int
+	}
+	var all []nsCount
+	for ns, n := range counts {
+		all = append(all, nsCount{ns, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].ns < all[j].ns
+	})
+	out := map[string]string{}
+	for i, nc := range all {
+		if i == 8 {
+			break
+		}
+		out[fmt.Sprintf("ns%d", i+1)] = nc.ns
+	}
+	return out
+}
+
+func writeTruth(dir string, pair *datagen.Pair) error {
+	f, err := os.Create(filepath.Join(dir, "truth.nt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := rdf.NewWriter(f)
+	sameAs := rdf.NewIRI(rdf.OWLSameAs)
+	for _, l := range pair.Truth.Links() {
+		t := rdf.Triple{S: pair.Dict.Term(l.Left), P: sameAs, O: pair.Dict.Term(l.Right)}
+		if err := w.Write(t); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

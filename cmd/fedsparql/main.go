@@ -1,0 +1,169 @@
+// Command fedsparql runs federated SPARQL queries over N-Triples files,
+// bridging entities through an owl:sameAs link file — the substrate ALEX
+// assumes (paper §3.2). Each answer is printed with its link provenance:
+// the sameAs links that produced it.
+//
+// Usage:
+//
+//	fedsparql -data dbpedia.nt -data nytimes.nt -links truth.nt \
+//	    -query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
+//
+// With no -query, queries are read from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alex/internal/endpoint"
+	"alex/internal/fed"
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var dataFiles, remotes multiFlag
+	flag.Var(&dataFiles, "data", "N-Triples or Turtle file (repeatable)")
+	flag.Var(&remotes, "remote", "remote SPARQL endpoint URL, e.g. http://host:8181/sparql (repeatable; see cmd/sparqld)")
+	linksFile := flag.String("links", "", "owl:sameAs N-Triples link file")
+	query := flag.String("query", "", "SPARQL query (default: read from stdin)")
+	flag.Parse()
+
+	if len(dataFiles) == 0 && len(remotes) == 0 {
+		fmt.Fprintln(os.Stderr, "fedsparql: at least one -data file or -remote endpoint is required")
+		os.Exit(2)
+	}
+	dict := rdf.NewDict()
+	var stores []*store.Store
+	for _, path := range dataFiles {
+		st, err := loadStore(dict, path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s\n", st.Stats())
+		stores = append(stores, st)
+	}
+	federation := fed.New(dict, stores...)
+	for i, remoteURL := range remotes {
+		name := fmt.Sprintf("remote%d", i+1)
+		federation.AddSource(fed.RemoteSource(endpoint.NewClient(name, remoteURL, nil)))
+		fmt.Fprintf(os.Stderr, "added remote endpoint %s = %s\n", name, remoteURL)
+	}
+	if *linksFile != "" {
+		links, err := loadLinks(dict, *linksFile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d sameAs links\n", links.Len())
+		federation.SetLinks(links)
+	}
+
+	if *query != "" {
+		if err := runQuery(federation, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		if err := runQuery(federation, q); err != nil {
+			fmt.Fprintln(os.Stderr, "fedsparql:", err)
+		}
+	}
+}
+
+func loadStore(dict *rdf.Dict, path string) (*store.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	st := store.New(name, dict)
+	var triples []rdf.Triple
+	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
+		triples, err = rdf.ParseTurtle(f)
+	} else {
+		triples, err = rdf.NewReader(f).ReadAll()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	st.Load(triples)
+	return st, nil
+}
+
+func loadLinks(dict *rdf.Dict, path string) (*linkset.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	triples, err := rdf.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	links := linkset.New()
+	for _, t := range triples {
+		if t.P.Value != rdf.OWLSameAs {
+			continue
+		}
+		links.Add(linkset.Link{Left: dict.Intern(t.S), Right: dict.Intern(t.O)})
+	}
+	return links, nil
+}
+
+func runQuery(federation *fed.Federation, query string) error {
+	res, err := federation.Execute(query)
+	if err != nil {
+		return err
+	}
+	if res.Triples != nil {
+		w := rdf.NewWriter(os.Stdout)
+		for _, t := range res.Triples {
+			if err := w.Write(t); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("%d triple(s)\n", len(res.Triples))
+		return nil
+	}
+	for i, a := range res.Answers {
+		var parts []string
+		for _, v := range res.Vars {
+			if t, ok := a.Binding[v]; ok {
+				parts = append(parts, fmt.Sprintf("?%s=%s", v, t))
+			}
+		}
+		prov := ""
+		if len(a.Used) > 0 {
+			prov = fmt.Sprintf("  [via %d sameAs link(s)]", len(a.Used))
+		}
+		fmt.Printf("%3d. %s%s\n", i+1, strings.Join(parts, "  "), prov)
+	}
+	fmt.Printf("%d answer(s)\n", len(res.Answers))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsparql:", err)
+	os.Exit(1)
+}

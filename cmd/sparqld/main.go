@@ -1,0 +1,130 @@
+// Command sparqld serves RDF data as a SPARQL-protocol HTTP endpoint — one
+// node of a distributed federation (see cmd/fedsparql and internal/fed's
+// remote sources). With several -data files (optionally plus -links), the
+// node serves a whole federation with owl:sameAs bridging: hierarchical
+// federation.
+//
+// Usage:
+//
+//	sparqld -data dbpedia.nt -addr :8181
+//	sparqld -data dbpedia.nt -data nytimes.nt -links truth.nt -addr :8282
+//	curl 'http://localhost:8181/sparql?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+3'
+//	curl  http://localhost:8181/stats
+//
+// Turtle files (.ttl) are detected by extension. The server speaks the
+// SPARQL 1.1 protocol subset implemented in internal/endpoint: SELECT, ASK
+// and CONSTRUCT via GET/POST, JSON / N-Triples results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alex/internal/endpoint"
+	"alex/internal/fed"
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var dataFiles multiFlag
+	flag.Var(&dataFiles, "data", "N-Triples or Turtle file to serve (repeatable)")
+	linksFile := flag.String("links", "", "owl:sameAs link file (used with multiple -data files)")
+	addr := flag.String("addr", ":8181", "listen address")
+	flag.Parse()
+	if len(dataFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sparqld -data <file.nt|file.ttl> [-data <file2>] [-links <file>] [-addr :8181]")
+		os.Exit(2)
+	}
+
+	dict := rdf.NewDict()
+	var stores []*store.Store
+	for _, path := range dataFiles {
+		st, err := load(dict, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqld:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s\n", st.Stats())
+		stores = append(stores, st)
+	}
+
+	var handler http.Handler
+	if len(stores) == 1 && *linksFile == "" {
+		handler = endpoint.NewHandler(stores[0])
+	} else {
+		federation := fed.New(dict, stores...)
+		if *linksFile != "" {
+			links, err := loadLinks(dict, *linksFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sparqld:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %d sameAs links\n", links.Len())
+			federation.SetLinks(links)
+		}
+		handler = endpoint.NewQueryHandler(fed.EndpointQueryFunc(federation), func() map[string]any {
+			out := map[string]any{"sources": len(stores), "links": federation.Links().Len()}
+			for _, st := range stores {
+				out[st.Name()] = st.Len()
+			}
+			return out
+		})
+		fmt.Fprintf(os.Stderr, "serving a federation of %d sources\n", len(stores))
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+}
+
+func load(dict *rdf.Dict, path string) (*store.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	st := store.New(name, dict)
+	var triples []rdf.Triple
+	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
+		triples, err = rdf.ParseTurtle(f)
+	} else {
+		triples, err = rdf.NewReader(f).ReadAll()
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.Load(triples)
+	return st, nil
+}
+
+func loadLinks(dict *rdf.Dict, path string) (*linkset.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	triples, err := rdf.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	links := linkset.New()
+	for _, t := range triples {
+		if t.P.Value == rdf.OWLSameAs {
+			links.Add(linkset.Link{Left: dict.Intern(t.S), Right: dict.Intern(t.O)})
+		}
+	}
+	return links, nil
+}

@@ -1,0 +1,3 @@
+module alex
+
+go 1.22

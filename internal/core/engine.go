@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"alex/internal/feature"
+	"alex/internal/feedback"
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// Engine is one ALEX instance over a pair of data sets. Build it with New,
+// seed it with the automatic linker's candidate links via SetInitialLinks,
+// then drive episodes with RunEpisode (or Run until convergence).
+type Engine struct {
+	cfg        Config
+	ds1, ds2   *store.Store
+	partitions []*partition
+	// subjectPartition routes a ds1 subject to its owning partition.
+	subjectPartition map[rdf.TermID]int
+	episode          int
+}
+
+// New builds an engine: it partitions the first data set round-robin
+// (§6.2) and pre-computes each partition's feature space against the
+// second data set (§3.2). ds1 should be the larger data set, as in the
+// paper. Construction is the expensive pre-processing step; it is
+// parallelized across partitions.
+func New(ds1, ds2 *store.Store, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	subjects := ds1.Subjects()
+	parts := feature.Partition(subjects, cfg.Partitions)
+
+	e := &Engine{
+		cfg:              cfg,
+		ds1:              ds1,
+		ds2:              ds2,
+		partitions:       make([]*partition, len(parts)),
+		subjectPartition: make(map[rdf.TermID]int, len(subjects)),
+	}
+	var wg sync.WaitGroup
+	for i, sub := range parts {
+		for _, s := range sub {
+			e.subjectPartition[s] = i
+		}
+		wg.Add(1)
+		go func(i int, sub []rdf.TermID) {
+			defer wg.Done()
+			space := feature.Build(ds1, sub, ds2, cfg.SpaceOptions)
+			e.partitions[i] = newPartition(i, space, cfg, cfg.Seed+int64(i)*7919)
+		}(i, sub)
+	}
+	wg.Wait()
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Partitions returns the number of partitions.
+func (e *Engine) Partitions() int { return len(e.partitions) }
+
+// SetInitialLinks seeds the candidate set with automatically generated
+// links. Links whose left entity is unknown to the engine are dropped (they
+// cannot be routed to a partition).
+func (e *Engine) SetInitialLinks(links []linkset.Link) {
+	for _, l := range links {
+		pi, ok := e.subjectPartition[l.Left]
+		if !ok {
+			continue
+		}
+		e.partitions[pi].addCandidate(l)
+	}
+}
+
+// Candidates returns the current global candidate link set.
+func (e *Engine) Candidates() *linkset.Set {
+	out := linkset.New()
+	for _, p := range e.partitions {
+		for l := range p.candidates {
+			out.Add(l)
+		}
+	}
+	return out
+}
+
+// EpisodeStats summarizes one episode across partitions.
+type EpisodeStats struct {
+	Episode  int
+	Feedback int
+	Positive int
+	Negative int
+	// Added and Removed count raw mutation activity within the episode
+	// (including links added and rolled back again); Changed is the
+	// symmetric difference between episode-boundary snapshots, which
+	// drives convergence.
+	Added, Removed int
+	Changed        int
+	// Candidates is the candidate-set size after the episode.
+	Candidates int
+	// Rollbacks counts rollback events since the run started.
+	Rollbacks int
+	// Converged reports strict convergence (no change in any partition).
+	Converged bool
+	// Relaxed reports the paper's relaxed condition: changed links below
+	// RelaxedThreshold of the candidate set.
+	Relaxed bool
+}
+
+// NegativeShare returns the fraction of feedback that was negative (Fig
+// 6(b), Fig 10(c)).
+func (s EpisodeStats) NegativeShare() float64 {
+	if s.Feedback == 0 {
+		return 0
+	}
+	return float64(s.Negative) / float64(s.Feedback)
+}
+
+// String renders the stats compactly.
+func (s EpisodeStats) String() string {
+	return fmt.Sprintf("episode %d: %d feedback (%d+/%d-), %+d/-%d links, %d candidates",
+		s.Episode, s.Feedback, s.Positive, s.Negative, s.Added, s.Removed, s.Candidates)
+}
+
+// RunEpisode runs one policy-evaluation / policy-improvement iteration:
+// every unconverged partition processes its share of EpisodeSize feedback
+// items in parallel, then improves its policy. judge supplies verdicts; it
+// is called concurrently and must be safe for concurrent use or wrapped by
+// SerialJudge.
+func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
+	e.episode++
+	n := len(e.partitions)
+	share := e.cfg.EpisodeSize / n
+	if share == 0 {
+		share = 1
+	}
+	var wg sync.WaitGroup
+	for _, p := range e.partitions {
+		wg.Add(1)
+		go func(p *partition) {
+			defer wg.Done()
+			p.runEpisode(share, judge)
+		}(p)
+	}
+	wg.Wait()
+	return e.collectStats()
+}
+
+// collectStats aggregates per-partition episode counters.
+func (e *Engine) collectStats() EpisodeStats {
+	stats := EpisodeStats{Episode: e.episode}
+	for _, p := range e.partitions {
+		stats.Feedback += p.posFeedback + p.negFeedback
+		stats.Positive += p.posFeedback
+		stats.Negative += p.negFeedback
+		stats.Added += p.episodeAdds
+		stats.Removed += p.episodeRemoves
+		stats.Changed += p.episodeChanged
+		stats.Candidates += len(p.candidates)
+		stats.Rollbacks += p.rollbacks
+	}
+	stats.Converged = e.Converged()
+	stats.Relaxed = stats.Candidates > 0 &&
+		float64(stats.Changed) < e.cfg.RelaxedThreshold*float64(stats.Candidates)
+	return stats
+}
+
+// Feedback is one explicit user verdict on a link.
+type Feedback struct {
+	Link     linkset.Link
+	Approved bool
+}
+
+// ApplyEpisode runs one episode from an explicit list of feedback items —
+// the interactive path of the paper's Figure 1, where verdicts come from
+// users approving or rejecting federated query answers. Items are routed
+// to the partition owning the link's left entity; partitions that receive
+// no items are untouched (they had no chance to change, so the episode
+// says nothing about their convergence).
+func (e *Engine) ApplyEpisode(items []Feedback) EpisodeStats {
+	e.episode++
+	perPartition := make([][]Feedback, len(e.partitions))
+	for _, it := range items {
+		if pi, ok := e.subjectPartition[it.Link.Left]; ok {
+			perPartition[pi] = append(perPartition[pi], it)
+		}
+	}
+	var wg sync.WaitGroup
+	for i, p := range e.partitions {
+		wg.Add(1)
+		go func(p *partition, items []Feedback) {
+			defer wg.Done()
+			p.applyEpisode(items)
+		}(p, perPartition[i])
+	}
+	wg.Wait()
+	return e.collectStats()
+}
+
+// Converged reports whether every partition has strictly converged (no
+// candidate-set change in its last episode) or hit MaxEpisodes.
+func (e *Engine) Converged() bool {
+	for _, p := range e.partitions {
+		if !p.converged {
+			return false
+		}
+	}
+	return true
+}
+
+// Episode returns the number of episodes run.
+func (e *Engine) Episode() int { return e.episode }
+
+// Run drives episodes until convergence or MaxEpisodes, invoking observe
+// (if non-nil) after each episode. It returns the per-episode stats.
+func (e *Engine) Run(judge feedback.Judge, observe func(EpisodeStats)) []EpisodeStats {
+	var out []EpisodeStats
+	for !e.Converged() && e.episode < e.cfg.MaxEpisodes {
+		st := e.RunEpisode(judge)
+		out = append(out, st)
+		if observe != nil {
+			observe(st)
+		}
+	}
+	return out
+}
+
+// PartitionCandidates returns partition i's candidate links (for the Fig 7
+// per-partition analysis).
+func (e *Engine) PartitionCandidates(i int) []linkset.Link {
+	return e.partitions[i].links()
+}
+
+// PartitionConverged reports partition i's convergence.
+func (e *Engine) PartitionConverged(i int) bool { return e.partitions[i].converged }
+
+// PartitionEpisodes returns the episodes partition i has run.
+func (e *Engine) PartitionEpisodes(i int) int { return e.partitions[i].episodes }
+
+// PartitionOf reports which partition owns a ds1 subject.
+func (e *Engine) PartitionOf(subject rdf.TermID) (int, bool) {
+	i, ok := e.subjectPartition[subject]
+	return i, ok
+}
+
+// SpaceStats reports the feature-space sizes for the Fig 5 experiment:
+// the raw cross-product pair count and the θ-filtered space size of
+// partition i.
+func (e *Engine) SpaceStats(i int) (total, filtered int) {
+	sp := e.partitions[i].space
+	return sp.TotalPairs(), sp.Len()
+}
+
+// SerialJudge wraps a non-thread-safe judge with a mutex.
+func SerialJudge(judge feedback.Judge) feedback.Judge {
+	var mu sync.Mutex
+	return func(l linkset.Link) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return judge(l)
+	}
+}

@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Domain classifies the kind of real-world entity.
+type Domain uint8
+
+const (
+	// DomainPerson covers people (including NBA players).
+	DomainPerson Domain = iota
+	// DomainOrganization covers companies, universities and institutions.
+	DomainOrganization
+	// DomainPlace covers locations.
+	DomainPlace
+	// DomainDrug covers pharmaceutical substances.
+	DomainDrug
+	// DomainLanguage covers human languages.
+	DomainLanguage
+	// DomainConference covers conferences and workshops.
+	DomainConference
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainPerson:
+		return "person"
+	case DomainOrganization:
+		return "organization"
+	case DomainPlace:
+		return "place"
+	case DomainDrug:
+		return "drug"
+	case DomainLanguage:
+		return "language"
+	case DomainConference:
+		return "conference"
+	default:
+		return "unknown"
+	}
+}
+
+// AttrKind is the value type of a canonical attribute.
+type AttrKind uint8
+
+const (
+	// AttrString is free text.
+	AttrString AttrKind = iota
+	// AttrName is a person-style name, subject to abbreviation/inversion.
+	AttrName
+	// AttrInt is an integer.
+	AttrInt
+	// AttrFloat is a float.
+	AttrFloat
+	// AttrDate is a calendar date.
+	AttrDate
+)
+
+// Attr is one canonical attribute of a universe entity.
+type Attr struct {
+	Key  string // canonical attribute key, e.g. "name", "birthDate"
+	Kind AttrKind
+	Str  string
+	Int  int64
+	Flt  float64
+	Date time.Time
+}
+
+// Entity is one real-world individual in the shared universe.
+type Entity struct {
+	ID     int
+	Domain Domain
+	Attrs  []Attr
+}
+
+// Name returns the canonical "name" attribute value.
+func (e Entity) Name() string {
+	for _, a := range e.Attrs {
+		if a.Key == "name" {
+			return a.Str
+		}
+	}
+	return fmt.Sprintf("entity-%d", e.ID)
+}
+
+// newEntity synthesizes a canonical entity of the given domain.
+func newEntity(r *rand.Rand, id int, d Domain) Entity {
+	e := Entity{ID: id, Domain: d}
+	switch d {
+	case DomainPerson:
+		name := personName(r, id)
+		birth := time.Date(1950+r.Intn(50), time.Month(1+r.Intn(12)), 1+r.Intn(28), 0, 0, 0, 0, time.UTC)
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrName, Str: name},
+			{Key: "birthDate", Kind: AttrDate, Date: birth},
+			{Key: "height", Kind: AttrFloat, Flt: 1.60 + r.Float64()*0.6},
+			{Key: "team", Kind: AttrString, Str: pick(r, teamNames)},
+			{Key: "position", Kind: AttrString, Str: pick(r, positions)},
+		}
+	case DomainOrganization:
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrString, Str: orgName(r)},
+			{Key: "founded", Kind: AttrInt, Int: int64(1850 + r.Intn(160))},
+			{Key: "city", Kind: AttrString, Str: cityName(r)},
+			{Key: "employees", Kind: AttrInt, Int: int64(10 + r.Intn(100000))},
+		}
+	case DomainPlace:
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrString, Str: placeName(r, id)},
+			{Key: "population", Kind: AttrInt, Int: int64(500 + r.Intn(5000000))},
+			{Key: "country", Kind: AttrString, Str: pick(r, countries)},
+			{Key: "elevation", Kind: AttrFloat, Flt: r.Float64() * 3000},
+		}
+	case DomainDrug:
+		name := drugName(r)
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrString, Str: name},
+			{Key: "formula", Kind: AttrString, Str: formula(r)},
+			{Key: "mass", Kind: AttrFloat, Flt: 50 + r.Float64()*900},
+			{Key: "approved", Kind: AttrInt, Int: int64(1950 + r.Intn(70))},
+		}
+	case DomainLanguage:
+		name := langName(r, id)
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrString, Str: name},
+			{Key: "iso", Kind: AttrString, Str: isoCode(r, name)},
+			{Key: "family", Kind: AttrString, Str: pick(r, langRoots) + "ic"},
+			{Key: "speakers", Kind: AttrInt, Int: int64(1000 + r.Intn(100000000))},
+		}
+	case DomainConference:
+		series := confSeries[id%len(confSeries)]
+		year := 2000 + (id/len(confSeries))%15
+		name := fmt.Sprintf("%s %d", series, year)
+		if wrap := id / (len(confSeries) * 15); wrap > 0 {
+			name = fmt.Sprintf("%s %d (satellite %d)", series, year, wrap)
+		}
+		e.Attrs = []Attr{
+			{Key: "name", Kind: AttrString, Str: name},
+			{Key: "series", Kind: AttrString, Str: series},
+			{Key: "year", Kind: AttrInt, Int: int64(year)},
+			{Key: "city", Kind: AttrString, Str: cityName(r)},
+		}
+	}
+	return e
+}
+
+// universe generates n entities drawn uniformly from the listed domains.
+func universe(r *rand.Rand, n int, domains []Domain) []Entity {
+	out := make([]Entity, n)
+	for i := range out {
+		out[i] = newEntity(r, i, domains[i%len(domains)])
+	}
+	return out
+}
+
+// distractorOf clones an entity into a confusable near-duplicate: it keeps
+// `keep` of the original's attribute values verbatim and re-randomizes the
+// rest, then appends a small marker to the name so it is a genuinely
+// different individual that shares most linking evidence. These are the
+// entities that drive precision down for equality-based linkers (the paper's
+// DBpedia–Drugbank regime, Fig 2(b)).
+func distractorOf(r *rand.Rand, src Entity, id int, keep int) Entity {
+	fresh := newEntity(r, id, src.Domain)
+	e := Entity{ID: id, Domain: src.Domain, Attrs: make([]Attr, len(src.Attrs))}
+	copy(e.Attrs, src.Attrs)
+	// Re-randomize attributes beyond the first `keep`.
+	for i := keep; i < len(e.Attrs) && i < len(fresh.Attrs); i++ {
+		if e.Attrs[i].Key == fresh.Attrs[i].Key {
+			e.Attrs[i] = fresh.Attrs[i]
+		}
+	}
+	// Perturb the name just enough to be a distinct individual.
+	for i := range e.Attrs {
+		if e.Attrs[i].Key == "name" {
+			switch r.Intn(3) {
+			case 0:
+				e.Attrs[i].Str += " II"
+			case 1:
+				e.Attrs[i].Str = typo(r, e.Attrs[i].Str)
+			default:
+				// Keep the name identical: a true homonym.
+			}
+		}
+	}
+	return e
+}

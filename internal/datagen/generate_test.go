@@ -1,0 +1,286 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+func TestGeneratePairDeterministic(t *testing.T) {
+	spec := DBpediaNYTimes(0.2, 42)
+	p1 := GeneratePair(spec)
+	p2 := GeneratePair(spec)
+	if p1.DS1.Len() != p2.DS1.Len() || p1.DS2.Len() != p2.DS2.Len() {
+		t.Errorf("non-deterministic sizes: (%d,%d) vs (%d,%d)",
+			p1.DS1.Len(), p1.DS2.Len(), p2.DS1.Len(), p2.DS2.Len())
+	}
+	if p1.Truth.Len() != p2.Truth.Len() {
+		t.Errorf("non-deterministic truth: %d vs %d", p1.Truth.Len(), p2.Truth.Len())
+	}
+	// Exact triple-level determinism.
+	l1, l2 := p1.Truth.Links(), p2.Truth.Links()
+	for i := range l1 {
+		t1 := p1.Dict.Term(l1[i].Left)
+		t2 := p2.Dict.Term(l2[i].Left)
+		if t1 != t2 {
+			t.Fatalf("truth link %d differs: %v vs %v", i, t1, t2)
+		}
+	}
+}
+
+func TestGeneratePairDifferentSeedsDiffer(t *testing.T) {
+	a := GeneratePair(DBpediaNYTimes(0.2, 1))
+	b := GeneratePair(DBpediaNYTimes(0.2, 2))
+	la, lb := a.Truth.Links(), b.Truth.Links()
+	same := 0
+	for i := range la {
+		if i < len(lb) && a.Dict.Term(la[i].Left) == b.Dict.Term(lb[i].Left) {
+			same++
+		}
+	}
+	if same == len(la) {
+		t.Error("different seeds produced identical universes")
+	}
+}
+
+func TestGeneratePairTruthSize(t *testing.T) {
+	spec := DBpediaNYTimes(0.2, 7)
+	p := GeneratePair(spec)
+	if p.Truth.Len() != spec.Shared {
+		t.Errorf("truth = %d, want %d", p.Truth.Len(), spec.Shared)
+	}
+}
+
+func TestGeneratePairTruthLinksResolve(t *testing.T) {
+	p := GeneratePair(DBpediaNYTimes(0.1, 3))
+	for _, l := range p.Truth.Links() {
+		left := p.Dict.Term(l.Left)
+		right := p.Dict.Term(l.Right)
+		if !left.IsIRI() || !right.IsIRI() {
+			t.Fatalf("truth link endpoints not IRIs: %v %v", left, right)
+		}
+		if !strings.HasPrefix(left.Value, DBpediaStyle.Base) {
+			t.Errorf("left IRI %s not in DS1 namespace", left.Value)
+		}
+		if !strings.HasPrefix(right.Value, NYTimesStyle.Base) {
+			t.Errorf("right IRI %s not in DS2 namespace", right.Value)
+		}
+		if _, ok := p.DS1.Entity(l.Left); !ok {
+			t.Errorf("left entity %s has no triples", left.Value)
+		}
+		if _, ok := p.DS2.Entity(l.Right); !ok {
+			t.Errorf("right entity %s has no triples", right.Value)
+		}
+	}
+}
+
+func TestGeneratePairSidesHaveExtras(t *testing.T) {
+	spec := DBpediaNYTimes(0.2, 5)
+	p := GeneratePair(spec)
+	if got := len(p.DS1.Subjects()); got <= spec.Shared {
+		t.Errorf("DS1 subjects = %d, want > %d (extras)", got, spec.Shared)
+	}
+	if got := len(p.DS2.Subjects()); got <= spec.Shared {
+		t.Errorf("DS2 subjects = %d, want > %d (extras)", got, spec.Shared)
+	}
+}
+
+func TestNYTimesStyleInvertsNames(t *testing.T) {
+	p := GeneratePair(NBADBpediaNYTimes(1, 11))
+	pred := rdf.NewIRI(NYTimesStyle.Base + "ontology/prefLabel")
+	inverted := 0
+	total := 0
+	for _, tr := range p.DS2.MatchTerms(rdf.Term{}, pred, rdf.Term{}) {
+		total++
+		if strings.Contains(tr.O.Value, ",") {
+			inverted++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no prefLabel triples in NYTimes side")
+	}
+	if float64(inverted)/float64(total) < 0.3 {
+		t.Errorf("inverted names = %d/%d, want a majority-ish share", inverted, total)
+	}
+}
+
+func TestDistractorOf(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	src := newEntity(r, 0, DomainDrug)
+	d := distractorOf(r, src, 100, 3)
+	if d.ID != 100 || d.Domain != DomainDrug {
+		t.Errorf("distractor identity: %+v", d)
+	}
+	// First keep attributes other than a possibly-perturbed name match.
+	kept := 0
+	for i := 0; i < 3 && i < len(d.Attrs); i++ {
+		if d.Attrs[i].Key != "name" && d.Attrs[i] == src.Attrs[i] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Error("distractor kept no attribute evidence")
+	}
+}
+
+func TestEntityDomains(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	domains := []Domain{
+		DomainPerson, DomainOrganization, DomainPlace,
+		DomainDrug, DomainLanguage, DomainConference,
+	}
+	for i, d := range domains {
+		e := newEntity(r, i, d)
+		if e.Domain != d {
+			t.Errorf("domain = %v, want %v", e.Domain, d)
+		}
+		if len(e.Attrs) < 4 {
+			t.Errorf("%v entity has %d attrs, want >= 4", d, len(e.Attrs))
+		}
+		if e.Name() == "" {
+			t.Errorf("%v entity has empty name", d)
+		}
+		if d.String() == "unknown" {
+			t.Errorf("domain %d has no name", d)
+		}
+	}
+}
+
+func TestEntityNameFallback(t *testing.T) {
+	e := Entity{ID: 7}
+	if e.Name() != "entity-7" {
+		t.Errorf("Name fallback = %q", e.Name())
+	}
+}
+
+func TestNoiseHelpers(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if got := abbreviate("LeBron James"); got != "L. James" {
+		t.Errorf("abbreviate = %q", got)
+	}
+	if got := abbreviate("Single"); got != "Single" {
+		t.Errorf("abbreviate single token = %q", got)
+	}
+	if got := invertName("LeBron Raymone James"); got != "James, LeBron Raymone" {
+		t.Errorf("invertName = %q", got)
+	}
+	if got := invertName("Mono"); got != "Mono" {
+		t.Errorf("invertName single token = %q", got)
+	}
+	for i := 0; i < 50; i++ {
+		s := "Testable Name"
+		mutated := typo(r, s)
+		if len(mutated) < len(s)-1 || len(mutated) > len(s) {
+			t.Fatalf("typo length out of bounds: %q -> %q", s, mutated)
+		}
+	}
+	if got := typo(r, "ab"); got != "ab" {
+		t.Errorf("typo on short string = %q, want unchanged", got)
+	}
+}
+
+func TestRenderAttrYearOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	e := newEntity(r, 0, DomainPerson)
+	var birth Attr
+	for _, a := range e.Attrs {
+		if a.Key == "birthDate" {
+			birth = a
+		}
+	}
+	term, ok := renderAttr(r, birth, Noise{YearOnly: 1})
+	if !ok {
+		t.Fatal("renderAttr failed")
+	}
+	if v, isInt := term.AsInt(); !isInt || v != int64(birth.Date.Year()) {
+		t.Errorf("YearOnly rendered %v", term)
+	}
+}
+
+func TestScenariosRegistry(t *testing.T) {
+	if len(Scenarios) != 11 {
+		t.Errorf("Scenarios = %d, want 11 (one per paper pair)", len(Scenarios))
+	}
+	seen := map[string]bool{}
+	for _, sc := range Scenarios {
+		if seen[sc.ID] {
+			t.Errorf("duplicate scenario id %s", sc.ID)
+		}
+		seen[sc.ID] = true
+		spec := sc.Spec(0.1, 1)
+		p := GeneratePair(spec)
+		if p.Truth.Len() == 0 {
+			t.Errorf("%s: empty truth", sc.ID)
+		}
+		if p.DS1.Len() == 0 || p.DS2.Len() == 0 {
+			t.Errorf("%s: empty store", sc.ID)
+		}
+	}
+	if _, ok := ScenarioByID("dbpedia-nytimes"); !ok {
+		t.Error("ScenarioByID missed dbpedia-nytimes")
+	}
+	if _, ok := ScenarioByID("nope"); ok {
+		t.Error("ScenarioByID found nonexistent id")
+	}
+}
+
+func TestGeneratePairDefaultDomains(t *testing.T) {
+	p := GeneratePair(PairSpec{
+		Name1: "a", Name2: "b",
+		Style1: DBpediaStyle, Style2: OpenCycStyle,
+		Shared: 5, Seed: 1,
+	})
+	if p.Truth.Len() != 5 {
+		t.Errorf("truth = %d", p.Truth.Len())
+	}
+}
+
+func TestPersonNameInjective(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 64*64; i++ {
+		n := personName(nil, i)
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("personName collision: %d and %d both %q", prev, i, n)
+		}
+		seen[n] = i
+	}
+	// Beyond the base space a middle initial disambiguates.
+	if personName(nil, 64*64) == personName(nil, 0) {
+		t.Error("wrap-around name not disambiguated")
+	}
+}
+
+func TestPlaceAndLangNamesInjective(t *testing.T) {
+	seenP := map[string]int{}
+	for i := 0; i < 24*16*10; i++ {
+		n := placeName(nil, i)
+		if prev, dup := seenP[n]; dup {
+			t.Fatalf("placeName collision: %d and %d both %q", prev, i, n)
+		}
+		seenP[n] = i
+	}
+	seenL := map[string]int{}
+	for i := 0; i < 26*8*12; i++ {
+		n := langName(nil, i)
+		if prev, dup := seenL[n]; dup {
+			t.Fatalf("langName collision: %d and %d both %q", prev, i, n)
+		}
+		seenL[n] = i
+	}
+}
+
+func TestWordEdit(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		multi := wordEdit(r, "Alpha Beta Gamma")
+		if multi == "Alpha Beta Gamma" {
+			t.Fatalf("wordEdit left multi-word value unchanged")
+		}
+		single := wordEdit(r, "Alpha")
+		if single == "Alpha" {
+			t.Fatalf("wordEdit left single word unchanged")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package datagen
+
+// This file encodes the paper's experimental data-set pairs (Table 1 and
+// §7) as PairSpecs. Sizes are scaled down from the paper's (which range up
+// to 43.6M triples) so experiments run at laptop scale; the `scale`
+// parameter multiplies the entity counts. What is preserved per pair is the
+// *regime* of the initial PARIS links that the paper reports:
+//
+//   - DBpedia–NYTimes (Fig 2a): high precision, low recall (~0.2). The
+//     NYTimes style inverts person names ("James, LeBron"), abbreviates and
+//     publishes years instead of dates, so equality-based evidence is rare
+//     but soft similarity remains high — exactly the regime where ALEX's
+//     exploration discovers most of the ground truth.
+//   - DBpedia–Drugbank (Fig 2b): low precision (<0.3), high recall (>0.95).
+//     Drug naming is systematic, so nearly every true pair matches; a large
+//     population of near-duplicate distractor compounds shares formulas and
+//     names, flooding the candidate set with wrong links.
+//   - DBpedia–Lexvo (Fig 2c): both low. Moderate noise plus moderate
+//     distractor density.
+//   - OpenCyc variants (Fig 3): same regimes, smaller sizes.
+//   - Specific domains (Fig 4): small ground truths (tens to hundreds).
+//   - DBpedia–OpenCyc (Fig 8): the stress test — largest truth, multiple
+//     semantically diverse domains, many predicates.
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// DBpediaNYTimes is the Fig 2(a) pair: high starting precision, low recall.
+func DBpediaNYTimes(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia", Name2: "NYTimes",
+		Style1:  DBpediaStyle,
+		Style2:  NYTimesStyle,
+		Domains: []Domain{DomainPerson, DomainOrganization, DomainPlace},
+		Shared:  scaled(500, scale),
+		Only1:   scaled(1500, scale),
+		Only2:   scaled(250, scale),
+		// A few near-duplicates so negative feedback has work to do.
+		Distract2: scaled(60, scale),
+		KeepAttrs: 2,
+		Noise1:    Noise{Typo: 0.02, Drop: 0.05},
+		Noise2: Noise{
+			Typo: 0.10, Abbrev: 0.25, Invert: 0.70,
+			Drop: 0.20, YearOnly: 0.60, Jitter: 0.02, WordEdit: 0.50,
+		},
+		Seed: seed,
+	}
+}
+
+// DBpediaDrugbank is the Fig 2(b) pair: low starting precision, high recall.
+func DBpediaDrugbank(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia", Name2: "Drugbank",
+		Style1:  DBpediaStyle,
+		Style2:  DrugbankStyle,
+		Domains: []Domain{DomainDrug},
+		Shared:  scaled(150, scale),
+		Only1:   scaled(200, scale),
+		Only2:   scaled(50, scale),
+		// Dense near-duplicates that copy name+formula: equality-based
+		// linking cannot tell them from the true counterparts.
+		Distract2: scaled(350, scale),
+		KeepAttrs: 3,
+		Noise1:    Noise{Typo: 0.01},
+		Noise2:    Noise{Typo: 0.01},
+		Seed:      seed,
+	}
+}
+
+// DBpediaLexvo is the Fig 2(c) pair: both precision and recall start low.
+func DBpediaLexvo(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia", Name2: "Lexvo",
+		Style1:    DBpediaStyle,
+		Style2:    LexvoStyle,
+		Domains:   []Domain{DomainLanguage},
+		Shared:    scaled(250, scale),
+		Only1:     scaled(400, scale),
+		Only2:     scaled(100, scale),
+		Distract2: scaled(120, scale),
+		KeepAttrs: 2,
+		Noise1:    Noise{Typo: 0.05, Drop: 0.10},
+		Noise2:    Noise{Typo: 0.12, Drop: 0.20, Jitter: 0.05, WordEdit: 0.30},
+		Seed:      seed,
+	}
+}
+
+// OpenCycNYTimes is the Fig 3(a) pair.
+func OpenCycNYTimes(scale float64, seed int64) PairSpec {
+	s := DBpediaNYTimes(scale, seed)
+	s.Name1 = "OpenCyc"
+	s.Style1 = OpenCycStyle
+	s.Shared = scaled(200, scale)
+	s.Only1 = scaled(400, scale)
+	s.Only2 = scaled(120, scale)
+	s.Distract2 = scaled(30, scale)
+	return s
+}
+
+// OpenCycDrugbank is the Fig 3(b) pair.
+func OpenCycDrugbank(scale float64, seed int64) PairSpec {
+	s := DBpediaDrugbank(scale, seed)
+	s.Name1 = "OpenCyc"
+	s.Style1 = OpenCycStyle
+	s.Shared = scaled(60, scale)
+	s.Only1 = scaled(100, scale)
+	s.Only2 = scaled(30, scale)
+	s.Distract2 = scaled(140, scale)
+	return s
+}
+
+// OpenCycLexvo is the Fig 3(c) pair.
+func OpenCycLexvo(scale float64, seed int64) PairSpec {
+	s := DBpediaLexvo(scale, seed)
+	s.Name1 = "OpenCyc"
+	s.Style1 = OpenCycStyle
+	s.Shared = scaled(60, scale)
+	s.Only1 = scaled(120, scale)
+	s.Only2 = scaled(40, scale)
+	s.Distract2 = scaled(30, scale)
+	return s
+}
+
+// DBpediaDogfood is the Fig 4(a) pair: the publications specific domain.
+func DBpediaDogfood(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia", Name2: "SWDogfood",
+		Style1:    DBpediaStyle,
+		Style2:    DogfoodStyle,
+		Domains:   []Domain{DomainConference, DomainOrganization},
+		Shared:    scaled(90, scale),
+		Only1:     scaled(250, scale),
+		Only2:     scaled(120, scale),
+		Distract2: scaled(20, scale),
+		KeepAttrs: 2,
+		Noise1:    Noise{Typo: 0.03, Drop: 0.05},
+		Noise2:    Noise{Typo: 0.10, Drop: 0.15},
+		Seed:      seed,
+	}
+}
+
+// OpenCycDogfood is the Fig 4(b) pair.
+func OpenCycDogfood(scale float64, seed int64) PairSpec {
+	s := DBpediaDogfood(scale, seed)
+	s.Name1 = "OpenCyc"
+	s.Style1 = OpenCycStyle
+	s.Shared = scaled(40, scale)
+	s.Only1 = scaled(100, scale)
+	s.Only2 = scaled(60, scale)
+	s.Distract2 = scaled(10, scale)
+	return s
+}
+
+// NBADBpediaNYTimes is the Fig 4(c) pair: NBA players from DBpedia linked
+// to NYTimes people. The paper's ground truth has 93 links; this is small
+// enough to use unscaled.
+func NBADBpediaNYTimes(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia-NBA", Name2: "NYTimes",
+		Style1:    DBpediaStyle,
+		Style2:    NYTimesStyle,
+		Domains:   []Domain{DomainPerson},
+		Shared:    scaled(93, scale),
+		Only1:     scaled(120, scale),
+		Only2:     scaled(60, scale),
+		Distract2: scaled(10, scale),
+		KeepAttrs: 2,
+		Noise1:    Noise{Typo: 0.02},
+		Noise2:    Noise{Typo: 0.08, Abbrev: 0.2, Invert: 0.6, YearOnly: 0.5, Drop: 0.15},
+		Seed:      seed,
+	}
+}
+
+// NBAOpenCycNYTimes is the Fig 4(d) pair (35 ground-truth links).
+func NBAOpenCycNYTimes(scale float64, seed int64) PairSpec {
+	s := NBADBpediaNYTimes(scale, seed)
+	s.Name1 = "OpenCyc-NBA"
+	s.Style1 = OpenCycStyle
+	s.Shared = scaled(35, scale)
+	s.Only1 = scaled(40, scale)
+	s.Only2 = scaled(40, scale)
+	s.Distract2 = scaled(6, scale)
+	return s
+}
+
+// DBpediaOpenCyc is the Fig 8 (Appendix B) stress-test pair: the two
+// multi-domain data sets, largest ground truth, most predicates.
+func DBpediaOpenCyc(scale float64, seed int64) PairSpec {
+	return PairSpec{
+		Name1: "DBpedia", Name2: "OpenCyc",
+		Style1: DBpediaStyle,
+		Style2: OpenCycStyle,
+		Domains: []Domain{
+			DomainPerson, DomainOrganization, DomainPlace,
+			DomainDrug, DomainLanguage, DomainConference,
+		},
+		Shared:    scaled(800, scale),
+		Only1:     scaled(1200, scale),
+		Only2:     scaled(400, scale),
+		Distract2: scaled(150, scale),
+		KeepAttrs: 2,
+		Noise1:    Noise{Typo: 0.03, Drop: 0.05},
+		Noise2:    Noise{Typo: 0.12, Abbrev: 0.1, Invert: 0.2, Drop: 0.15, YearOnly: 0.3, Jitter: 0.03},
+		Seed:      seed,
+	}
+}
+
+// Scenario names one of the paper's data-set pairs.
+type Scenario struct {
+	ID   string
+	Desc string
+	Spec func(scale float64, seed int64) PairSpec
+}
+
+// Scenarios lists every pair used in the paper's evaluation, keyed by the
+// figure that uses it.
+var Scenarios = []Scenario{
+	{"dbpedia-nytimes", "Fig 2(a): DBpedia–NYTimes, high-P/low-R start", DBpediaNYTimes},
+	{"dbpedia-drugbank", "Fig 2(b): DBpedia–Drugbank, low-P/high-R start", DBpediaDrugbank},
+	{"dbpedia-lexvo", "Fig 2(c): DBpedia–Lexvo, low-P/low-R start", DBpediaLexvo},
+	{"opencyc-nytimes", "Fig 3(a): OpenCyc–NYTimes", OpenCycNYTimes},
+	{"opencyc-drugbank", "Fig 3(b): OpenCyc–Drugbank", OpenCycDrugbank},
+	{"opencyc-lexvo", "Fig 3(c): OpenCyc–Lexvo", OpenCycLexvo},
+	{"dbpedia-dogfood", "Fig 4(a): DBpedia–SW Dogfood", DBpediaDogfood},
+	{"opencyc-dogfood", "Fig 4(b): OpenCyc–SW Dogfood", OpenCycDogfood},
+	{"nba-dbpedia-nytimes", "Fig 4(c): DBpedia (NBA)–NYTimes", NBADBpediaNYTimes},
+	{"nba-opencyc-nytimes", "Fig 4(d): OpenCyc (NBA)–NYTimes", NBAOpenCycNYTimes},
+	{"dbpedia-opencyc", "Fig 8: DBpedia–OpenCyc stress test", DBpediaOpenCyc},
+}
+
+// ScenarioByID returns the scenario with the given id, or false.
+func ScenarioByID(id string) (Scenario, bool) {
+	for _, s := range Scenarios {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,236 @@
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+)
+
+// Client queries a remote SPARQL endpoint. It caches ASK probes and
+// predicate counts, which the federated optimizer consults repeatedly.
+// A Client is safe for concurrent use.
+type Client struct {
+	name string
+	base string
+	http *http.Client
+
+	mu         sync.Mutex
+	askCache   map[string]bool
+	countCache map[string]int
+}
+
+// NewClient returns a client named name for the endpoint at base (the URL
+// of the /sparql route, e.g. "http://host:8080/sparql"). A nil httpClient
+// uses http.DefaultClient.
+func NewClient(name, base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		name:       name,
+		base:       base,
+		http:       httpClient,
+		askCache:   map[string]bool{},
+		countCache: map[string]int{},
+	}
+}
+
+// Name returns the endpoint's name.
+func (c *Client) Name() string { return c.name }
+
+// Result is a decoded SPARQL result. Triples is set for CONSTRUCT results
+// produced locally by a query engine; the HTTP client does not decode
+// CONSTRUCT responses.
+type Result struct {
+	Vars    []string
+	Rows    []sparql.Binding
+	IsAsk   bool
+	Boolean bool
+	Triples []rdf.Triple
+}
+
+// Query sends a SPARQL query and decodes the JSON response.
+func (c *Client) Query(query string) (*Result, error) {
+	resp, err := c.http.PostForm(c.base, url.Values{"query": {query}})
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", c.name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: reading response: %w", c.name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint %s: HTTP %d: %s", c.name, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	// ASK and SELECT share the "head" field; sniff for "boolean".
+	var probe struct {
+		Boolean *bool `json:"boolean"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("endpoint %s: decoding response: %w", c.name, err)
+	}
+	if probe.Boolean != nil {
+		return &Result{IsAsk: true, Boolean: *probe.Boolean}, nil
+	}
+	var doc selectDocument
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("endpoint %s: decoding bindings: %w", c.name, err)
+	}
+	out := &Result{Vars: doc.Head.Vars}
+	for _, b := range doc.Results.Bindings {
+		row := sparql.Binding{}
+		for v, td := range b {
+			t, err := decodeTerm(td)
+			if err != nil {
+				return nil, err
+			}
+			row[v] = t
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Ask runs an ASK query, cached by query text.
+func (c *Client) Ask(query string) (bool, error) {
+	c.mu.Lock()
+	if v, ok := c.askCache[query]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	res, err := c.Query(query)
+	if err != nil {
+		return false, err
+	}
+	if !res.IsAsk {
+		return false, fmt.Errorf("endpoint %s: expected boolean result", c.name)
+	}
+	c.mu.Lock()
+	c.askCache[query] = res.Boolean
+	c.mu.Unlock()
+	return res.Boolean, nil
+}
+
+// HasPredicate probes whether the endpoint holds any triple with the given
+// predicate — the FedX ASK-based source-selection probe, cached.
+func (c *Client) HasPredicate(pred rdf.Term) (bool, error) {
+	return c.Ask(fmt.Sprintf("ASK { ?s %s ?o }", pred))
+}
+
+// PredicateCount returns the number of triples with the given predicate,
+// cached. Used by the federated join optimizer's cost model.
+func (c *Client) PredicateCount(pred rdf.Term) (int, error) {
+	key := pred.String()
+	c.mu.Lock()
+	if v, ok := c.countCache[key]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	res, err := c.Query(fmt.Sprintf("SELECT (COUNT(*) AS ?n) WHERE { ?s %s ?o }", pred))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if len(res.Rows) == 1 {
+		if t, ok := res.Rows[0]["n"]; ok {
+			if v, isInt := t.AsInt(); isInt {
+				n = int(v)
+			}
+		}
+	}
+	c.mu.Lock()
+	c.countCache[key] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Size returns the endpoint's total triple count (from /stats if the base
+// URL ends in /sparql, else via COUNT), cached under the empty key.
+func (c *Client) Size() (int, error) {
+	c.mu.Lock()
+	if v, ok := c.countCache[""]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+	res, err := c.Query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if len(res.Rows) == 1 {
+		if v, ok := res.Rows[0]["n"].AsInt(); ok {
+			n = int(v)
+		}
+	}
+	c.mu.Lock()
+	c.countCache[""] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// MatchPattern evaluates one triple pattern (with the binding's variables
+// substituted as constants) against the endpoint and returns the extended
+// bindings — the remote counterpart of sparql.MatchPattern.
+func (c *Client) MatchPattern(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+	render := func(n sparql.Node) (string, string) {
+		if n.IsVar() {
+			if t, ok := binding[n.Var]; ok {
+				return t.String(), ""
+			}
+			return "?" + n.Var, n.Var
+		}
+		return n.Term.String(), ""
+	}
+	sTxt, sVar := render(tp.S)
+	pTxt, pVar := render(tp.P)
+	oTxt, oVar := render(tp.O)
+	var vars []string
+	seen := map[string]bool{}
+	for _, v := range []string{sVar, pVar, oVar} {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	patternTxt := fmt.Sprintf("%s %s %s .", sTxt, pTxt, oTxt)
+	if len(vars) == 0 {
+		ok, err := c.Ask("ASK { " + patternTxt + " }")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return []sparql.Binding{binding.Clone()}, nil
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for _, v := range vars {
+		sb.WriteString("?" + v + " ")
+	}
+	sb.WriteString("WHERE { " + patternTxt + " }")
+	res, err := c.Query(sb.String())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sparql.Binding, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		nb := binding.Clone()
+		for v, t := range row {
+			nb[v] = t
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+// Package endpoint implements the SPARQL protocol over HTTP: a Handler
+// that serves a store as a query endpoint (SELECT and ASK, JSON results),
+// and a Client that queries such endpoints. Together with internal/fed's
+// remote sources they turn the in-process federation into the distributed
+// setting the paper's architecture (Fig 1) describes: independent linked-
+// data endpoints queried by one federated processor.
+//
+// The wire format follows the W3C "SPARQL 1.1 Query Results JSON Format":
+//
+//	{"head":{"vars":[...]},"results":{"bindings":[{"x":{"type":"uri","value":...}}]}}
+//	{"head":{},"boolean":true}                          (ASK)
+package endpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+	"alex/internal/store"
+)
+
+// QueryFunc answers one SPARQL query. It backs the generic query handler,
+// so anything that speaks SPARQL — a single store, a whole federation —
+// can be served as an endpoint (hierarchical federation).
+type QueryFunc func(query string) (*Result, error)
+
+// Handler serves a SPARQL query engine over the protocol. Routes:
+//
+//	GET/POST /sparql   the query endpoint (?query= or form/body)
+//	GET      /stats    JSON statistics
+type Handler struct {
+	query QueryFunc
+	stats func() map[string]any
+	mux   *http.ServeMux
+}
+
+// NewHandler returns a handler over a single store.
+func NewHandler(st *store.Store) *Handler {
+	return NewQueryHandler(
+		func(query string) (*Result, error) { return storeQuery(st, query) },
+		func() map[string]any {
+			s := st.Stats()
+			return map[string]any{
+				"name":       s.Name,
+				"triples":    s.Triples,
+				"subjects":   s.Subjects,
+				"predicates": s.Predicates,
+			}
+		},
+	)
+}
+
+// NewQueryHandler returns a handler over any query engine. stats may be nil.
+func NewQueryHandler(query QueryFunc, stats func() map[string]any) *Handler {
+	h := &Handler{query: query, stats: stats, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/sparql", h.handleQuery)
+	h.mux.HandleFunc("/stats", h.handleStats)
+	return h
+}
+
+// storeQuery evaluates a query against one store and adapts the result.
+func storeQuery(st *store.Store, query string) (*Result, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, &BadQueryError{Err: err}
+	}
+	res, err := sparql.Eval(st, q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Vars: res.Vars, Rows: res.Rows, Triples: res.Triples}
+	if q.Ask {
+		out.IsAsk = true
+		out.Boolean = res.AskResult()
+	}
+	return out, nil
+}
+
+// BadQueryError marks client errors (malformed queries) so the handler can
+// answer 400 instead of 500.
+type BadQueryError struct{ Err error }
+
+func (e *BadQueryError) Error() string { return e.Err.Error() }
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := h.query(query)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bad *BadQueryError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if res.Triples != nil {
+		w.Header().Set("Content-Type", "application/n-triples")
+		nt := rdf.NewWriter(w)
+		for _, t := range res.Triples {
+			if err := nt.Write(t); err != nil {
+				return
+			}
+		}
+		_ = nt.Flush()
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	if res.IsAsk {
+		writeJSON(w, askDocument{Head: headDocument{}, Boolean: res.Boolean})
+		return
+	}
+	writeJSON(w, encodeSelect(res.Vars, res.Rows))
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if h.stats == nil {
+		writeJSON(w, map[string]any{})
+		return
+	}
+	writeJSON(w, h.stats())
+}
+
+// extractQuery pulls the query string per the SPARQL protocol: the query
+// URL parameter (GET or POST form), or the raw body for the
+// application/sparql-query content type.
+func extractQuery(r *http.Request) (string, error) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/sparql-query") {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", fmt.Errorf("reading query body: %w", err)
+		}
+		return string(body), nil
+	}
+	if err := r.ParseForm(); err != nil {
+		return "", fmt.Errorf("parsing form: %w", err)
+	}
+	q := r.Form.Get("query")
+	if q == "" {
+		return "", fmt.Errorf("missing query parameter")
+	}
+	return q, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// Wire documents.
+
+type headDocument struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type termDocument struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+type selectDocument struct {
+	Head    headDocument `json:"head"`
+	Results struct {
+		Bindings []map[string]termDocument `json:"bindings"`
+	} `json:"results"`
+}
+
+type askDocument struct {
+	Head    headDocument `json:"head"`
+	Boolean bool         `json:"boolean"`
+}
+
+func encodeSelect(vars []string, rows []sparql.Binding) selectDocument {
+	doc := selectDocument{Head: headDocument{Vars: vars}}
+	doc.Results.Bindings = make([]map[string]termDocument, 0, len(rows))
+	for _, row := range rows {
+		b := make(map[string]termDocument, len(row))
+		for v, t := range row {
+			b[v] = encodeTerm(t)
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	return doc
+}
+
+func encodeTerm(t rdf.Term) termDocument {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return termDocument{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return termDocument{Type: "bnode", Value: t.Value}
+	default:
+		return termDocument{
+			Type:     "literal",
+			Value:    t.Value,
+			Lang:     t.Lang,
+			Datatype: t.Datatype,
+		}
+	}
+}
+
+// decodeTerm is the inverse of encodeTerm.
+func decodeTerm(d termDocument) (rdf.Term, error) {
+	switch d.Type {
+	case "uri":
+		return rdf.NewIRI(d.Value), nil
+	case "bnode":
+		return rdf.NewBlank(d.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case d.Lang != "":
+			return rdf.NewLangString(d.Value, d.Lang), nil
+		case d.Datatype != "":
+			return rdf.NewTyped(d.Value, d.Datatype), nil
+		default:
+			return rdf.NewString(d.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("endpoint: unknown term type %q", d.Type)
+	}
+}

@@ -1,0 +1,655 @@
+// Package fed implements a FedX-style federated query processor — the
+// substrate the paper assumes (§3.2).
+//
+// A Federation holds member sources (in-process stores sharing one term
+// dictionary, and/or remote HTTP SPARQL endpoints via internal/endpoint),
+// plus a set of owl:sameAs candidate links. Queries are parsed with
+// internal/sparql and evaluated against all member sources: each triple
+// pattern is routed by predicate-probe source selection (local index probe
+// or remote ASK), join order is chosen by a greedy selectivity heuristic,
+// bound joins optionally run in parallel, and bound entity terms are
+// transparently rewritten through sameAs links so a join can cross
+// data-set boundaries. A federation can itself be served as an endpoint
+// (EndpointQueryFunc), enabling hierarchical federation.
+//
+// Every answer row carries provenance: the exact links that were used to
+// produce it. ALEX interprets user feedback on an answer as feedback on
+// those links (§1, §3.2).
+package fed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+	"alex/internal/store"
+)
+
+// Federation is a set of member sources (in-process stores and/or remote
+// endpoints) plus sameAs links.
+type Federation struct {
+	dict    *rdf.Dict
+	stores  []*store.Store
+	sources []Source
+	links   *linkset.Set
+	// equiv maps an entity to the entities it is linked to, with the
+	// canonical Link that justifies each equivalence.
+	equiv map[rdf.TermID][]equivEdge
+	// reorder enables greedy selectivity-based join reordering (default).
+	reorder bool
+	// parallel is the worker count for bound joins; 1 disables parallelism.
+	parallel int
+}
+
+type equivEdge struct {
+	to   rdf.TermID
+	link linkset.Link
+}
+
+// New returns a federation over the given stores, which must share dict.
+func New(dict *rdf.Dict, stores ...*store.Store) *Federation {
+	f := &Federation{
+		dict:     dict,
+		stores:   stores,
+		links:    linkset.New(),
+		equiv:    make(map[rdf.TermID][]equivEdge),
+		reorder:  true,
+		parallel: 1,
+	}
+	for _, st := range stores {
+		f.sources = append(f.sources, LocalSource(st))
+	}
+	return f
+}
+
+// AddSource adds a member source (e.g. a remote endpoint) to the
+// federation.
+func (f *Federation) AddSource(src Source) { f.sources = append(f.sources, src) }
+
+// Sources returns the member sources.
+func (f *Federation) Sources() []Source { return f.sources }
+
+// Dict returns the shared dictionary.
+func (f *Federation) Dict() *rdf.Dict { return f.dict }
+
+// Stores returns the member stores.
+func (f *Federation) Stores() []*store.Store { return f.stores }
+
+// SetLinks replaces the active sameAs link set. The federation reads the
+// set once; call SetLinks again after the candidate set changes to refresh
+// the equivalence index (ALEX does this after every episode).
+func (f *Federation) SetLinks(links *linkset.Set) {
+	f.links = links
+	f.equiv = make(map[rdf.TermID][]equivEdge, links.Len()*2)
+	for _, l := range links.Links() {
+		f.equiv[l.Left] = append(f.equiv[l.Left], equivEdge{to: l.Right, link: l})
+		f.equiv[l.Right] = append(f.equiv[l.Right], equivEdge{to: l.Left, link: l})
+	}
+}
+
+// Links returns the active link set.
+func (f *Federation) Links() *linkset.Set { return f.links }
+
+// Answer is one solution row with the links used to produce it.
+type Answer struct {
+	Binding sparql.Binding
+	Used    []linkset.Link
+}
+
+// Result is a federated query result. For CONSTRUCT queries, Triples holds
+// the constructed graph (with no per-triple provenance; use SELECT when
+// feedback is intended).
+type Result struct {
+	Vars    []string
+	Answers []Answer
+	Triples []rdf.Triple
+}
+
+// Execute parses and evaluates query against the federation.
+func (f *Federation) Execute(query string) (*Result, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.Eval(q)
+}
+
+// row is a solution under construction: bindings plus link provenance.
+type row struct {
+	b    sparql.Binding
+	used map[linkset.Link]struct{}
+}
+
+func (r row) clone() row {
+	nr := row{b: r.b.Clone(), used: make(map[linkset.Link]struct{}, len(r.used))}
+	for l := range r.used {
+		nr.used[l] = struct{}{}
+	}
+	return nr
+}
+
+// Eval evaluates a parsed query against the federation.
+func (f *Federation) Eval(q *sparql.Query) (*Result, error) {
+	rows, err := f.evalPatterns(q.Patterns, []row{{b: sparql.Binding{}, used: map[linkset.Link]struct{}{}}})
+	if err != nil {
+		return nil, err
+	}
+	return f.finalize(q, rows)
+}
+
+// AskResult interprets a federated ASK result.
+func (r *Result) AskResult() bool { return len(r.Answers) > 0 }
+
+func (f *Federation) finalize(q *sparql.Query, rows []row) (*Result, error) {
+	if q.Ask {
+		if len(rows) == 0 {
+			return &Result{}, nil
+		}
+		// Keep the witness row's provenance: the links that make the ASK true.
+		links := make([]linkset.Link, 0, len(rows[0].used))
+		for l := range rows[0].used {
+			links = append(links, l)
+		}
+		return &Result{Answers: []Answer{{Binding: sparql.Binding{}, Used: links}}}, nil
+	}
+	if q.Construct != nil {
+		bindings := make([]sparql.Binding, len(rows))
+		for i, r := range rows {
+			bindings[i] = r.b
+		}
+		return &Result{Triples: sparql.InstantiateTemplate(q.Construct, bindings)}, nil
+	}
+	if len(q.Aggregates) > 0 {
+		return f.finalizeAggregates(q, rows)
+	}
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = q.AllVars()
+	}
+	// Project, then apply DISTINCT / OFFSET / LIMIT over projected rows.
+	answers := make([]Answer, 0, len(rows))
+	for _, r := range rows {
+		b := make(sparql.Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := r.b[v]; ok {
+				b[v] = t
+			}
+		}
+		links := make([]linkset.Link, 0, len(r.used))
+		for l := range r.used {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].Left != links[j].Left {
+				return links[i].Left < links[j].Left
+			}
+			return links[i].Right < links[j].Right
+		})
+		answers = append(answers, Answer{Binding: b, Used: links})
+	}
+	if len(q.OrderBy) > 0 {
+		sortAnswers(answers, q.OrderBy)
+	}
+	if q.Distinct {
+		answers = dedupeAnswers(vars, answers)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(answers) {
+			answers = nil
+		} else {
+			answers = answers[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(answers) {
+		answers = answers[:q.Limit]
+	}
+	return &Result{Vars: vars, Answers: answers}, nil
+}
+
+// finalizeAggregates groups the federated rows, evaluates the aggregates
+// per group, and merges link provenance: feedback on an aggregated answer
+// implicates every link that contributed a row to its group.
+func (f *Federation) finalizeAggregates(q *sparql.Query, rows []row) (*Result, error) {
+	type group struct {
+		bindings []sparql.Binding
+		used     map[linkset.Link]struct{}
+	}
+	byKey := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		k := sparql.GroupKey(q.GroupBy, r.b)
+		g, ok := byKey[k]
+		if !ok {
+			g = &group{used: map[linkset.Link]struct{}{}}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.bindings = append(g.bindings, r.b)
+		for l := range r.used {
+			g.used[l] = struct{}{}
+		}
+	}
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		byKey[""] = &group{used: map[linkset.Link]struct{}{}}
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	res := &Result{Vars: sparql.AggregateVars(q)}
+	for _, k := range order {
+		g := byKey[k]
+		b, err := sparql.AggregateGroup(q, g.bindings)
+		if err != nil {
+			return nil, err
+		}
+		links := make([]linkset.Link, 0, len(g.used))
+		for l := range g.used {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].Left != links[j].Left {
+				return links[i].Left < links[j].Left
+			}
+			return links[i].Right < links[j].Right
+		})
+		res.Answers = append(res.Answers, Answer{Binding: b, Used: links})
+	}
+	if len(q.OrderBy) > 0 {
+		sortAnswers(res.Answers, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Answers) {
+			res.Answers = nil
+		} else {
+			res.Answers = res.Answers[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Answers) {
+		res.Answers = res.Answers[:q.Limit]
+	}
+	return res, nil
+}
+
+func sortAnswers(answers []Answer, keys []sparql.OrderKey) {
+	sort.SliceStable(answers, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := answers[i].Binding[k.Var]
+			b, bok := answers[j].Binding[k.Var]
+			if !aok && !bok {
+				continue
+			}
+			if !aok || !bok {
+				less := !aok
+				if k.Desc {
+					less = !less
+				}
+				return less
+			}
+			if a == b {
+				continue
+			}
+			less := a.String() < b.String()
+			if k.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+}
+
+func dedupeAnswers(vars []string, answers []Answer) []Answer {
+	seen := make(map[string]struct{}, len(answers))
+	out := answers[:0]
+	for _, a := range answers {
+		var key []byte
+		for _, v := range vars {
+			if t, ok := a.Binding[v]; ok {
+				key = append(key, t.String()...)
+			}
+			key = append(key, 0x1f)
+		}
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+func (f *Federation) evalPatterns(patterns []sparql.Pattern, in []row) ([]row, error) {
+	rows := in
+	for _, p := range patterns {
+		var err error
+		switch p := p.(type) {
+		case sparql.BGP:
+			rows, err = f.evalBGP(p, rows)
+		case sparql.Filter:
+			rows = f.applyFilter(p.Expr, rows)
+		case sparql.Optional:
+			rows, err = f.evalOptional(p, rows)
+		case sparql.Union:
+			rows, err = f.evalUnion(p, rows)
+		case sparql.Values:
+			rows = f.evalValues(p, rows)
+		case sparql.Exists:
+			rows, err = f.evalExists(p, rows)
+		case sparql.Bind:
+			rows = f.evalBind(p, rows)
+		case sparql.PathPattern:
+			err = fmt.Errorf("fed: property paths are not supported in federated queries (path %s)", sparql.PathString(p.P))
+		default:
+			err = fmt.Errorf("fed: unknown pattern type %T", p)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (f *Federation) applyFilter(expr sparql.Expr, rows []row) []row {
+	out := rows[:0]
+	for _, r := range rows {
+		t, err := expr.Eval(r.b)
+		if err != nil {
+			continue
+		}
+		v, err := sparql.EBV(t)
+		if err == nil && v {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (f *Federation) evalOptional(opt sparql.Optional, rows []row) ([]row, error) {
+	var out []row
+	for _, r := range rows {
+		extended, err := f.evalPatterns(opt.Patterns, []row{r.clone()})
+		if err != nil {
+			return nil, err
+		}
+		if len(extended) == 0 {
+			out = append(out, r)
+		} else {
+			out = append(out, extended...)
+		}
+	}
+	return out, nil
+}
+
+// evalBind extends each row with the bound expression value, mirroring the
+// single-store semantics; provenance is untouched.
+func (f *Federation) evalBind(bd sparql.Bind, rows []row) []row {
+	out := rows[:0]
+	for _, r := range rows {
+		v, err := bd.Expr.Eval(r.b)
+		if err != nil {
+			out = append(out, r)
+			continue
+		}
+		if prev, bound := r.b[bd.As]; bound {
+			if prev == v {
+				out = append(out, r)
+			}
+			continue
+		}
+		nr := r.clone()
+		nr.b[bd.As] = v
+		out = append(out, nr)
+	}
+	return out
+}
+
+// evalValues joins current rows with a VALUES inline data block, keeping
+// provenance untouched (inline data uses no links).
+func (f *Federation) evalValues(v sparql.Values, rows []row) []row {
+	var out []row
+	for _, r := range rows {
+		for _, data := range v.Rows {
+			nr := r.clone()
+			ok := true
+			for i, name := range v.Vars {
+				t := data[i]
+				if t.IsZero() {
+					continue
+				}
+				if prev, bound := nr.b[name]; bound {
+					if prev != t {
+						ok = false
+						break
+					}
+					continue
+				}
+				nr.b[name] = t
+			}
+			if ok {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out
+}
+
+// evalExists filters rows by the existence (or absence) of a compatible
+// inner-group solution. The probe's link provenance is discarded: an
+// existence check constrains the answer but does not produce it, so
+// feedback on the answer should not implicate the probe's links.
+func (f *Federation) evalExists(e sparql.Exists, rows []row) ([]row, error) {
+	out := rows[:0]
+	for _, r := range rows {
+		matches, err := f.evalPatterns(e.Patterns, []row{r.clone()})
+		if err != nil {
+			return nil, err
+		}
+		if (len(matches) > 0) != e.Not {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (f *Federation) evalUnion(u sparql.Union, rows []row) ([]row, error) {
+	var out []row
+	for _, r := range rows {
+		left, err := f.evalPatterns(u.Left, []row{r.clone()})
+		if err != nil {
+			return nil, err
+		}
+		right, err := f.evalPatterns(u.Right, []row{r.clone()})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, left...)
+		out = append(out, right...)
+	}
+	return out, nil
+}
+
+// evalBGP is a bound join: each pattern extends the current rows, with the
+// pattern matched against every store selected for it. Patterns run in the
+// order chosen by the selectivity-based optimizer (optimize.go); within a
+// pattern, rows are processed by SetParallelism workers (FedX's "bound
+// joins in parallel"), preserving row order.
+func (f *Federation) evalBGP(bgp sparql.BGP, rows []row) ([]row, error) {
+	for _, pp := range f.planBGP(bgp, boundVarsOf(rows)) {
+		next, err := f.extendRows(pp, rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+	return rows, nil
+}
+
+// extendRows applies one planned pattern to every row, in parallel when
+// configured. Results keep the input row order for determinism.
+func (f *Federation) extendRows(pp plannedPattern, rows []row) ([]row, error) {
+	workers := f.parallel
+	if workers <= 1 || len(rows) < 2*workers {
+		var next []row
+		for _, r := range rows {
+			matched, err := f.matchAcross(pp.sources, pp.tp, r)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, matched...)
+		}
+		return next, nil
+	}
+	type chunk struct {
+		rows []row
+		err  error
+	}
+	results := make([]chunk, len(rows))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, r := range rows {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, r row) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			matched, err := f.matchAcross(pp.sources, pp.tp, r)
+			results[i] = chunk{rows: matched, err: err}
+		}(i, r)
+	}
+	wg.Wait()
+	var next []row
+	for _, c := range results {
+		if c.err != nil {
+			return nil, c.err
+		}
+		next = append(next, c.rows...)
+	}
+	return next, nil
+}
+
+// SetParallelism sets the bound-join worker count (minimum 1). Parallelism
+// pays off when sources are remote endpoints with network latency; for
+// in-process stores the default of 1 avoids goroutine overhead.
+func (f *Federation) SetParallelism(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	f.parallel = workers
+}
+
+// selectSources picks the sources that can possibly answer a pattern,
+// using a predicate-presence probe (FedX's ASK-based source selection).
+// Patterns with a variable predicate go to every source. Probe errors from
+// remote sources conservatively keep the source selected.
+func (f *Federation) selectSources(tp sparql.TriplePattern) []Source {
+	if tp.P.IsVar() {
+		return f.sources
+	}
+	var out []Source
+	for _, src := range f.sources {
+		has, err := src.HasPredicate(tp.P.Term)
+		if err != nil || has {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// matchAcross extends one row through one pattern over the selected
+// sources, applying sameAs rewriting to bound subject/object entity terms.
+func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r row) ([]row, error) {
+	var out []row
+	for _, src := range sources {
+		// Direct match, no link used.
+		bs, err := src.Match(tp, r.b)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bs {
+			nr := row{b: b, used: r.used}
+			out = append(out, nr.clone())
+		}
+		// sameAs-rewritten matches for bound subject and object.
+		rewritten, err := f.rewrittenMatches(src, tp, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rewritten...)
+	}
+	return out, nil
+}
+
+// rewrittenMatches substitutes sameAs-equivalent entities for the bound
+// subject and/or object of the pattern and records the links used.
+func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row) ([]row, error) {
+	var out []row
+	trySubst := func(pos int, orig rdf.Term, edge equivEdge) error {
+		substTerm := f.dict.Term(edge.to)
+		np := tp
+		var varName string
+		switch pos {
+		case 0:
+			varName = tp.S.Var
+			np.S = sparql.TermNode(substTerm)
+		case 2:
+			varName = tp.O.Var
+			np.O = sparql.TermNode(substTerm)
+		}
+		// Match the rewritten pattern; the variable keeps its ORIGINAL
+		// binding (the user sees one entity; the link supplied the alias).
+		bs, err := src.Match(np, r.b)
+		if err != nil {
+			return err
+		}
+		for _, b := range bs {
+			nr := row{b: b, used: r.used}.clone()
+			if varName != "" {
+				nr.b[varName] = orig
+			}
+			nr.used[edge.link] = struct{}{}
+			out = append(out, nr)
+		}
+		return nil
+	}
+	// Subject position: variable already bound to an IRI, or constant IRI.
+	if term, ok := boundEntity(tp.S, r.b); ok {
+		if id, found := f.dict.Lookup(term); found {
+			for _, e := range f.equiv[id] {
+				if err := trySubst(0, term, e); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Object position.
+	if term, ok := boundEntity(tp.O, r.b); ok {
+		if id, found := f.dict.Lookup(term); found {
+			for _, e := range f.equiv[id] {
+				if err := trySubst(2, term, e); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// boundEntity returns the concrete IRI a node denotes under the binding.
+func boundEntity(n sparql.Node, b sparql.Binding) (rdf.Term, bool) {
+	if n.IsVar() {
+		t, ok := b[n.Var]
+		if !ok || !t.IsIRI() {
+			return rdf.Term{}, false
+		}
+		return t, true
+	}
+	if n.Term.IsIRI() {
+		return n.Term, true
+	}
+	return rdf.Term{}, false
+}

@@ -1,0 +1,112 @@
+package fed
+
+import (
+	"alex/internal/endpoint"
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+	"alex/internal/store"
+)
+
+// Source is one member of a federation: a queryable triple collection. The
+// in-process implementation wraps a store; the remote implementation wraps
+// an HTTP SPARQL endpoint (internal/endpoint), turning the federation into
+// the distributed setting the paper's architecture assumes.
+type Source interface {
+	// Name identifies the source in plans and diagnostics.
+	Name() string
+	// HasPredicate reports whether the source can answer patterns with
+	// the predicate — FedX's ASK-style source-selection probe.
+	HasPredicate(pred rdf.Term) (bool, error)
+	// PredicateCount estimates the number of triples carrying the
+	// predicate, for the join optimizer's cost model.
+	PredicateCount(pred rdf.Term) (int, error)
+	// Size is the source's total triple count.
+	Size() (int, error)
+	// Match extends binding through one triple pattern, returning the
+	// extended bindings.
+	Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error)
+}
+
+// localSource adapts an in-process store.
+type localSource struct {
+	st *store.Store
+}
+
+// LocalSource wraps a store as a federation Source.
+func LocalSource(st *store.Store) Source { return localSource{st: st} }
+
+func (s localSource) Name() string { return s.st.Name() }
+
+func (s localSource) HasPredicate(pred rdf.Term) (bool, error) {
+	id, ok := s.st.Dict().Lookup(pred)
+	if !ok {
+		return false, nil
+	}
+	return s.st.HasPredicate(id), nil
+}
+
+func (s localSource) PredicateCount(pred rdf.Term) (int, error) {
+	id, ok := s.st.Dict().Lookup(pred)
+	if !ok {
+		return 0, nil
+	}
+	return s.st.PredicateCount(id), nil
+}
+
+func (s localSource) Size() (int, error) { return s.st.Len(), nil }
+
+func (s localSource) Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+	return sparql.MatchPattern(s.st, tp, binding), nil
+}
+
+// EndpointQueryFunc adapts the federation as an endpoint.QueryFunc, so a
+// whole federation can itself be served as a SPARQL endpoint with
+// endpoint.NewQueryHandler — hierarchical federation. Link provenance is
+// not representable in the SPARQL results format and is dropped.
+func EndpointQueryFunc(f *Federation) endpoint.QueryFunc {
+	return func(query string) (*endpoint.Result, error) {
+		q, err := sparql.Parse(query)
+		if err != nil {
+			return nil, &endpoint.BadQueryError{Err: err}
+		}
+		res, err := f.Eval(q)
+		if err != nil {
+			return nil, err
+		}
+		out := &endpoint.Result{Triples: res.Triples}
+		if q.Ask {
+			out.IsAsk = true
+			out.Boolean = res.AskResult()
+			return out, nil
+		}
+		out.Vars = res.Vars
+		for _, a := range res.Answers {
+			out.Rows = append(out.Rows, a.Binding)
+		}
+		return out, nil
+	}
+}
+
+// remoteSource adapts an HTTP SPARQL endpoint client.
+type remoteSource struct {
+	c *endpoint.Client
+}
+
+// RemoteSource wraps an endpoint client as a federation Source.
+func RemoteSource(c *endpoint.Client) Source { return remoteSource{c: c} }
+
+func (s remoteSource) Name() string { return s.c.Name() }
+
+func (s remoteSource) HasPredicate(pred rdf.Term) (bool, error) {
+	return s.c.HasPredicate(pred)
+}
+
+func (s remoteSource) PredicateCount(pred rdf.Term) (int, error) {
+	return s.c.PredicateCount(pred)
+}
+
+func (s remoteSource) Size() (int, error) { return s.c.Size() }
+
+func (s remoteSource) Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+	return s.c.MatchPattern(tp, binding)
+}

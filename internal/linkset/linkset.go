@@ -1,0 +1,179 @@
+// Package linkset manages sets of owl:sameAs candidate links between two
+// data sets and computes the quality metrics the paper reports: precision,
+// recall and F-measure against a ground-truth link set (§7.1).
+package linkset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alex/internal/rdf"
+)
+
+// Link identifies one owl:sameAs candidate between an entity of the first
+// data set (Left) and one of the second (Right). TermIDs refer to a shared
+// rdf.Dict.
+type Link struct {
+	Left  rdf.TermID
+	Right rdf.TermID
+}
+
+// String renders the link for diagnostics.
+func (l Link) String() string { return fmt.Sprintf("(%d ~ %d)", l.Left, l.Right) }
+
+// Scored pairs a link with the confidence its producer assigned.
+type Scored struct {
+	Link  Link
+	Score float64
+}
+
+// Set is a mutable set of candidate links. It is safe for concurrent use.
+type Set struct {
+	mu    sync.RWMutex
+	links map[Link]struct{}
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{links: make(map[Link]struct{})}
+}
+
+// FromLinks builds a set from a slice.
+func FromLinks(links []Link) *Set {
+	s := New()
+	for _, l := range links {
+		s.Add(l)
+	}
+	return s
+}
+
+// Add inserts the link, reporting whether it was absent.
+func (s *Set) Add(l Link) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.links[l]; dup {
+		return false
+	}
+	s.links[l] = struct{}{}
+	return true
+}
+
+// Remove deletes the link, reporting whether it was present.
+func (s *Set) Remove(l Link) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.links[l]; !ok {
+		return false
+	}
+	delete(s.links, l)
+	return true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(l Link) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.links[l]
+	return ok
+}
+
+// Len returns the set size.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.links)
+}
+
+// Links returns the links sorted by (Left, Right) for determinism.
+func (s *Set) Links() []Link {
+	s.mu.RLock()
+	out := make([]Link, 0, len(s.links))
+	for l := range s.links {
+		out = append(out, l)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &Set{links: make(map[Link]struct{}, len(s.links))}
+	for l := range s.links {
+		c.links[l] = struct{}{}
+	}
+	return c
+}
+
+// DiffCount returns the size of the symmetric difference with other.
+// ALEX's convergence test is DiffCount == 0 (strict) or
+// DiffCount < 5% of Len (relaxed).
+func (s *Set) DiffCount(other *Set) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	diff := 0
+	for l := range s.links {
+		if _, ok := other.links[l]; !ok {
+			diff++
+		}
+	}
+	for l := range other.links {
+		if _, ok := s.links[l]; !ok {
+			diff++
+		}
+	}
+	return diff
+}
+
+// Quality holds the paper's evaluation metrics for one candidate set.
+type Quality struct {
+	Precision float64
+	Recall    float64
+	FMeasure  float64
+	// Correct is |C ∩ G|, Candidates is |C|, Truth is |G|.
+	Correct    int
+	Candidates int
+	Truth      int
+}
+
+// String renders the metrics compactly.
+func (q Quality) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f (%d/%d candidates correct, %d truth)",
+		q.Precision, q.Recall, q.FMeasure, q.Correct, q.Candidates, q.Truth)
+}
+
+// Evaluate computes precision P = |C∩G|/|C|, recall R = |C∩G|/|G| and
+// F = 2PR/(P+R) of candidates against truth. Empty candidate sets have
+// precision 0 by convention; empty truth has recall 0.
+func Evaluate(candidates, truth *Set) Quality {
+	candidates.mu.RLock()
+	defer candidates.mu.RUnlock()
+	truth.mu.RLock()
+	defer truth.mu.RUnlock()
+	q := Quality{Candidates: len(candidates.links), Truth: len(truth.links)}
+	for l := range candidates.links {
+		if _, ok := truth.links[l]; ok {
+			q.Correct++
+		}
+	}
+	if q.Candidates > 0 {
+		q.Precision = float64(q.Correct) / float64(q.Candidates)
+	}
+	if q.Truth > 0 {
+		q.Recall = float64(q.Correct) / float64(q.Truth)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.FMeasure = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}

@@ -1,0 +1,273 @@
+// Package paris reimplements (in simplified form) the PARIS probabilistic
+// alignment algorithm of Suchanek, Abiteboul and Senellart (PVLDB 2011),
+// which the paper uses as its automatic linking baseline (§7.1): the
+// initial candidate links ALEX starts from are PARIS links with score
+// greater than 0.95.
+//
+// Like the original, this implementation is fully automatic, takes no
+// training data, and combines three signals:
+//
+//   - value equality: two entities sharing a literal value is evidence they
+//     are the same individual;
+//   - functionality: evidence through a predicate that has one value per
+//     subject (birthDate) is stronger than through a multi-valued one
+//     (rdf:type);
+//   - relation alignment, learned iteratively: evidence through a pair of
+//     predicates that frequently agrees on already-matched entities is
+//     stronger than through an incidental value collision.
+//
+// Signals are combined probabilistically: score = 1 − Π(1 − wᵢ), capped so
+// that a single piece of evidence never exceeds EvidenceCap. With the
+// paper's 0.95 threshold this means at least two independent pieces of
+// evidence are required — which is exactly what makes PARIS precise but
+// blind to surface-form variation (inverted names, reformatted dates), the
+// regime ALEX improves on.
+package paris
+
+import (
+	"sort"
+	"strings"
+
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// Config tunes the linker.
+type Config struct {
+	// Threshold is the minimum score for a link to be emitted. The paper
+	// uses 0.95.
+	Threshold float64
+	// MaxEvidenceFreq drops a shared value as evidence when more than this
+	// many entities on either side carry it (generic values like a type
+	// IRI or a playing position carry no identity signal).
+	MaxEvidenceFreq int
+	// EvidenceCap bounds the weight of a single piece of evidence.
+	EvidenceCap float64
+	// Iterations is the number of scoring passes. Each pass after the
+	// first re-weights evidence by the learned relation alignment (see
+	// estimateAlignment). The default is 1: on small data sets the
+	// alignment estimates are too coarse and can only lower scores, which
+	// starves the candidate set; enable 2+ passes for larger inputs where
+	// the per-predicate-pair statistics are dense enough to be meaningful.
+	Iterations int
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:       0.95,
+		MaxEvidenceFreq: 5,
+		EvidenceCap:     0.90,
+		Iterations:      1,
+	}
+}
+
+// predPair is an aligned predicate pair (p1 from ds1, p2 from ds2).
+type predPair struct {
+	p1, p2 rdf.TermID
+}
+
+// evidence is one shared value between a candidate entity pair.
+type evidence struct {
+	pair predPair
+	base float64 // functionality-weighted base strength
+}
+
+// Link aligns ds1 against ds2 and returns every entity pair whose combined
+// score passes cfg.Threshold, sorted by descending score then by ids.
+func Link(ds1, ds2 *store.Store, cfg Config) []linkset.Scored {
+	if cfg.Threshold == 0 {
+		cfg = DefaultConfig()
+	}
+	idx := buildIndex(ds2, cfg.MaxEvidenceFreq)
+	fun1 := funcCache{st: ds1, m: map[rdf.TermID]float64{}}
+	fun2 := funcCache{st: ds2, m: map[rdf.TermID]float64{}}
+
+	// Collect per-pair evidence once; iterations only re-weight it.
+	pairEvidence := map[linkset.Link][]evidence{}
+	for _, subj := range ds1.Subjects() {
+		ent, ok := ds1.Entity(subj)
+		if !ok {
+			continue
+		}
+		seen := map[linkset.Link]map[predPair]bool{}
+		for i := range ent.Preds {
+			key := normalizeValue(ds1.Dict().Term(ent.Objs[i]))
+			if key == "" {
+				continue
+			}
+			postings := idx.byValue[key]
+			if len(postings) == 0 || len(postings) > cfg.MaxEvidenceFreq {
+				continue
+			}
+			// Frequency of the value on the ds1 side, for symmetry.
+			if c := idx1Count(ds1, ent.Objs[i]); c > cfg.MaxEvidenceFreq {
+				continue
+			}
+			for _, post := range postings {
+				l := linkset.Link{Left: subj, Right: post.subject}
+				pp := predPair{p1: ent.Preds[i], p2: post.pred}
+				if seen[l] == nil {
+					seen[l] = map[predPair]bool{}
+				}
+				if seen[l][pp] {
+					continue
+				}
+				seen[l][pp] = true
+				base := cfg.EvidenceCap * fun1.get(ent.Preds[i]) * fun2.get(post.pred)
+				pairEvidence[l] = append(pairEvidence[l], evidence{pair: pp, base: base})
+			}
+		}
+	}
+
+	align := map[predPair]float64{} // empty: alignment factor defaults to 1
+	var scored []linkset.Scored
+	for iter := 0; iter < maxInt(1, cfg.Iterations); iter++ {
+		scored = scorePairs(pairEvidence, align, cfg.Threshold)
+		if iter == cfg.Iterations-1 {
+			break
+		}
+		align = estimateAlignment(pairEvidence, scored)
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		if scored[i].Link.Left != scored[j].Link.Left {
+			return scored[i].Link.Left < scored[j].Link.Left
+		}
+		return scored[i].Link.Right < scored[j].Link.Right
+	})
+	return scored
+}
+
+// scorePairs combines each pair's evidence probabilistically:
+// score = 1 − Π(1 − wᵢ), wᵢ = baseᵢ · (0.5 + 0.5·alignᵢ).
+func scorePairs(pairEvidence map[linkset.Link][]evidence, align map[predPair]float64, threshold float64) []linkset.Scored {
+	var out []linkset.Scored
+	for l, evs := range pairEvidence {
+		miss := 1.0
+		for _, ev := range evs {
+			a, ok := align[ev.pair]
+			if !ok {
+				a = 1
+			}
+			w := ev.base * (0.5 + 0.5*a)
+			miss *= 1 - w
+		}
+		score := 1 - miss
+		if score >= threshold {
+			out = append(out, linkset.Scored{Link: l, Score: score})
+		}
+	}
+	return out
+}
+
+// estimateAlignment computes, for every predicate pair, the fraction of
+// currently-accepted links whose evidence includes that pair, normalized by
+// the pair's total occurrence among candidates. Pairs that only ever
+// co-occur on rejected candidates are down-weighted in the next pass.
+func estimateAlignment(pairEvidence map[linkset.Link][]evidence, accepted []linkset.Scored) map[predPair]float64 {
+	acceptedSet := make(map[linkset.Link]struct{}, len(accepted))
+	for _, s := range accepted {
+		acceptedSet[s.Link] = struct{}{}
+	}
+	hits := map[predPair]float64{}
+	total := map[predPair]float64{}
+	for l, evs := range pairEvidence {
+		_, ok := acceptedSet[l]
+		for _, ev := range evs {
+			total[ev.pair]++
+			if ok {
+				hits[ev.pair]++
+			}
+		}
+	}
+	align := make(map[predPair]float64, len(total))
+	for pp, n := range total {
+		align[pp] = hits[pp] / n
+	}
+	return align
+}
+
+// funcCache memoizes predicate functionality per store.
+type funcCache struct {
+	st *store.Store
+	m  map[rdf.TermID]float64
+}
+
+func (c *funcCache) get(p rdf.TermID) float64 {
+	if v, ok := c.m[p]; ok {
+		return v
+	}
+	v := c.st.Functionality(p)
+	c.m[p] = v
+	return v
+}
+
+// posting is one (subject, predicate) occurrence of a value in ds2.
+type posting struct {
+	subject rdf.TermID
+	pred    rdf.TermID
+}
+
+type valueIndex struct {
+	byValue map[string][]posting
+}
+
+// buildIndex builds the inverted value index of ds2. Values held by more
+// than maxFreq subjects are kept (truncation happens at probe time) but
+// their posting lists are capped to avoid quadratic blowup on pathological
+// data: one extra posting beyond maxFreq marks the list as over-limit.
+func buildIndex(ds *store.Store, maxFreq int) *valueIndex {
+	idx := &valueIndex{byValue: map[string][]posting{}}
+	for _, subj := range ds.Subjects() {
+		ent, ok := ds.Entity(subj)
+		if !ok {
+			continue
+		}
+		for i := range ent.Preds {
+			key := normalizeValue(ds.Dict().Term(ent.Objs[i]))
+			if key == "" {
+				continue
+			}
+			if len(idx.byValue[key]) > maxFreq {
+				continue
+			}
+			idx.byValue[key] = append(idx.byValue[key], posting{subject: subj, pred: ent.Preds[i]})
+		}
+	}
+	return idx
+}
+
+// idx1Count counts ds1 triples carrying the object (cheap proxy for the
+// value frequency on the probe side).
+func idx1Count(ds *store.Store, obj rdf.TermID) int {
+	return len(ds.Match(rdf.NoTerm, rdf.NoTerm, obj))
+}
+
+// normalizeValue renders a term as its equality key: lowercase trimmed
+// lexical form for literals, the full IRI for resources. Empty string means
+// "not usable as evidence".
+func normalizeValue(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.KindLiteral:
+		v := strings.ToLower(strings.TrimSpace(t.Value))
+		if v == "" {
+			return ""
+		}
+		return "L" + v
+	case rdf.KindIRI:
+		return "I" + t.Value
+	default:
+		return ""
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+// Package plot renders line charts as standalone SVG documents using only
+// the standard library. The experiment harness uses it to regenerate the
+// paper's figures as actual images: precision/recall/F-measure per episode,
+// in the visual shape of Figs 2-4 and 6-11.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	Y    []float64
+	// Color is any SVG color; empty picks from the default palette.
+	Color string
+}
+
+// Chart is a line chart over a shared integer X axis (0, 1, 2, ...).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax fix the Y range; both zero means auto-scale.
+	YMin, YMax float64
+	// Width and Height are the canvas size in pixels; zero means 640×400.
+	Width, Height int
+	// Markers draws vertical dashed rules at these X positions with labels
+	// (used for the paper's relaxed-convergence line).
+	Markers map[int]string
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const (
+	marginLeft   = 56.0
+	marginRight  = 16.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 400
+	}
+	plotW := float64(w) - marginLeft - marginRight
+	plotH := float64(h) - marginTop - marginBottom
+
+	maxLen := 1
+	for _, s := range c.Series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	yMin, yMax := c.YMin, c.YMax
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Y {
+				yMin = math.Min(yMin, v)
+				yMax = math.Max(yMax, v)
+			}
+		}
+		if math.IsInf(yMin, 1) {
+			yMin, yMax = 0, 1
+		}
+		if yMin == yMax {
+			yMax = yMin + 1
+		}
+		// Pad 5%.
+		pad := (yMax - yMin) * 0.05
+		yMin -= pad
+		yMax += pad
+	}
+
+	x := func(i int) float64 {
+		if maxLen == 1 {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + plotW*float64(i)/float64(maxLen-1)
+	}
+	y := func(v float64) float64 {
+		return marginTop + plotH*(1-(v-yMin)/(yMax-yMin))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" text-anchor="middle">%s</text>`,
+		marginLeft+plotW/2, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%g" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+		marginLeft+plotW/2, h-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`,
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Y grid and ticks: 5 divisions.
+	for i := 0; i <= 5; i++ {
+		v := yMin + (yMax-yMin)*float64(i)/5
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`,
+			marginLeft, yy, marginLeft+plotW, yy)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%.2f</text>`,
+			marginLeft-6, yy+3, v)
+	}
+	// X ticks: at most 10.
+	step := 1
+	if maxLen > 10 {
+		step = (maxLen + 9) / 10
+	}
+	for i := 0; i < maxLen; i += step {
+		xx := x(i)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`,
+			xx, marginTop, xx, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle">%d</text>`,
+			xx, marginTop+plotH+14, i)
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Markers.
+	for xi, label := range c.Markers {
+		if xi < 0 || xi >= maxLen {
+			continue
+		}
+		xx := x(xi)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="green" stroke-dasharray="4 3"/>`,
+			xx, marginTop, xx, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="9" fill="green">%s</text>`,
+			xx+3, marginTop+10, escape(label))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		var pts []string
+		for i, v := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(clamp(v, yMin, yMax))))
+		}
+		if len(pts) == 1 {
+			fmt.Fprintf(&b, `<circle cx="%s" r="3" fill="%s"/>`,
+				strings.ReplaceAll(pts[0], ",", `" cy="`), color)
+		} else if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		lx := marginLeft + 10 + float64(si)*110
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`,
+			lx, marginTop+6, lx+18, marginTop+6, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10">%s</text>`,
+			lx+22, marginTop+9, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestChartSVGBasic(t *testing.T) {
+	c := &Chart{
+		Title:  "Fig 2(a): DBpedia - NYTimes",
+		XLabel: "Episode",
+		YLabel: "Quality",
+		YMin:   0, YMax: 1,
+		Series: []Series{
+			{Name: "Precision", Y: []float64{0.8, 0.3, 0.5, 0.9}},
+			{Name: "Recall", Y: []float64{0.2, 0.6, 0.65, 0.7}},
+			{Name: "F-Measure", Y: []float64{0.32, 0.4, 0.56, 0.79}},
+		},
+		Markers: map[int]string{2: "relaxed"},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"polyline", "Precision", "Recall", "F-Measure", "relaxed", "Episode", "<svg"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Errorf("polylines = %d, want 3", got)
+	}
+}
+
+func TestChartAutoScale(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "x", Y: []float64{10, 20, 30}}}}
+	wellFormed(t, c.SVG())
+	// Auto-scale must include tick labels spanning the data range.
+	svg := c.SVG()
+	if !strings.Contains(svg, "30.") && !strings.Contains(svg, "31.") {
+		t.Errorf("auto-scaled ticks missing upper range:\n%s", svg)
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	// Empty chart must not panic or divide by zero.
+	empty := &Chart{Title: "empty"}
+	wellFormed(t, empty.SVG())
+	// Single point becomes a circle.
+	single := &Chart{Series: []Series{{Name: "pt", Y: []float64{0.5}}}}
+	svg := single.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<circle") {
+		t.Errorf("single-point series not drawn as circle:\n%s", svg)
+	}
+	// Constant series: the y range must still be nonzero.
+	flat := &Chart{Series: []Series{{Name: "flat", Y: []float64{2, 2, 2}}}}
+	wellFormed(t, flat.SVG())
+	// Values outside fixed range are clamped.
+	clamped := &Chart{YMin: 0, YMax: 1, Series: []Series{{Name: "c", Y: []float64{-5, 7}}}}
+	wellFormed(t, clamped.SVG())
+}
+
+func TestChartEscaping(t *testing.T) {
+	c := &Chart{
+		Title:  `<Tricky> & "Title"`,
+		Series: []Series{{Name: "a<b", Y: []float64{1, 2}}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<Tricky>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestChartManyEpisodeTicks(t *testing.T) {
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = float64(i) / 100
+	}
+	c := &Chart{Series: []Series{{Name: "long", Y: y}}}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	// At most ~10 X tick labels even for 100 points.
+	if got := strings.Count(svg, `text-anchor="middle">9`); got > 3 {
+		t.Errorf("too many tick labels: %d", got)
+	}
+}

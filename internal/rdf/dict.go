@@ -1,0 +1,77 @@
+package rdf
+
+import "sync"
+
+// Dict interns Terms to dense TermIDs. IDs start at 1; 0 is reserved for
+// NoTerm. A Dict is safe for concurrent use.
+//
+// A single Dict is typically shared by all data sets participating in a
+// linking task so that TermIDs are comparable across stores.
+type Dict struct {
+	mu    sync.RWMutex
+	byKey map[string]TermID
+	terms []Term // terms[0] is the zero Term for NoTerm
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		byKey: make(map[string]TermID),
+		terms: make([]Term, 1, 1024),
+	}
+}
+
+// Intern returns the id for t, assigning a fresh id on first sight.
+func (d *Dict) Intern(t Term) TermID {
+	k := t.key()
+	d.mu.RLock()
+	id, ok := d.byKey[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[k]; ok {
+		return id
+	}
+	id = TermID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.byKey[k] = id
+	return id
+}
+
+// InternIRI interns an IRI term given its string.
+func (d *Dict) InternIRI(iri string) TermID { return d.Intern(NewIRI(iri)) }
+
+// Lookup returns the id for t without interning. The second return is false
+// when the term has never been interned.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[t.key()]
+	return id, ok
+}
+
+// Term returns the term for an id. It returns the zero Term for NoTerm or
+// out-of-range ids.
+func (d *Dict) Term(id TermID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.terms) {
+		return Term{}
+	}
+	return d.terms[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms) - 1
+}
+
+// Materialize converts a TripleID back to a Triple.
+func (d *Dict) Materialize(t TripleID) Triple {
+	return Triple{S: d.Term(t.S), P: d.Term(t.P), O: d.Term(t.O)}
+}

@@ -1,0 +1,64 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic and, where they succeed, must
+// produce triples that re-serialize and re-parse to the same values.
+
+func FuzzNTriples(f *testing.F) {
+	seeds := []string{
+		`<http://x/s> <http://x/p> "o" .`,
+		`<http://x/s> <http://x/p> <http://x/o> .`,
+		`_:b <http://x/p> "a\tb"@en .`,
+		`<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"# comment\n\n<http://x/s> <http://x/p> \"x\" .",
+		`<http://x/s> <http://x/p> "é\U0001F600" .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		ts, err := NewReader(strings.NewReader(in)).ReadAll()
+		if err != nil {
+			return
+		}
+		// Successful parses must round-trip.
+		var sb strings.Builder
+		if err := NewWriter(&sb).WriteAll(ts); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		back, err := NewReader(strings.NewReader(sb.String())).ReadAll()
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput: %q", err, sb.String())
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip changed triple count: %d -> %d", len(ts), len(back))
+		}
+		for i := range ts {
+			if back[i] != ts[i] {
+				t.Fatalf("round trip changed triple %d: %v -> %v", i, ts[i], back[i])
+			}
+		}
+	})
+}
+
+func FuzzTurtle(f *testing.F) {
+	seeds := []string{
+		`@prefix ex: <http://x/> . ex:a ex:p "v" .`,
+		`<http://x/s> <http://x/p> 42 .`,
+		`@base <http://b/> . <a> <p> <c> .`,
+		`@prefix : <http://x/> . :a :p "x", 'y' ; a :T .`,
+		`_:b1 <http://x/p> true .`,
+		"@prefix : <http://x/> .\n:s :p \"\"\"multi\nline\"\"\" .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		// Must not panic; errors are fine.
+		_, _ = ParseTurtle(strings.NewReader(in))
+	})
+}

@@ -1,0 +1,156 @@
+package rdf
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func parseAll(t *testing.T, in string) []Triple {
+	t.Helper()
+	ts, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return ts
+}
+
+func TestNTriplesBasic(t *testing.T) {
+	in := `<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> "lit" .
+<http://x/s> <http://x/p> "lit"@en .
+<http://x/s> <http://x/p> "5"^^<` + XSDInteger + `> .
+_:b1 <http://x/p> "o" .
+`
+	ts := parseAll(t, in)
+	if len(ts) != 5 {
+		t.Fatalf("got %d triples, want 5", len(ts))
+	}
+	if ts[0].O != NewIRI("http://x/o") {
+		t.Errorf("triple 0 object = %v", ts[0].O)
+	}
+	if ts[1].O != NewString("lit") {
+		t.Errorf("triple 1 object = %v", ts[1].O)
+	}
+	if ts[2].O != NewLangString("lit", "en") {
+		t.Errorf("triple 2 object = %v", ts[2].O)
+	}
+	if ts[3].O != NewTyped("5", XSDInteger) {
+		t.Errorf("triple 3 object = %v", ts[3].O)
+	}
+	if ts[4].S != NewBlank("b1") {
+		t.Errorf("triple 4 subject = %v", ts[4].S)
+	}
+}
+
+func TestNTriplesCommentsAndBlankLines(t *testing.T) {
+	in := "# a comment\n\n<http://x/s> <http://x/p> \"o\" .\n   \n# end\n"
+	ts := parseAll(t, in)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples, want 1", len(ts))
+	}
+}
+
+func TestNTriplesEscapes(t *testing.T) {
+	in := `<http://x/s> <http://x/p> "a\tb\nc\"d\\e" .
+<http://x/s> <http://x/p> "A\U0001F600" .
+`
+	ts := parseAll(t, in)
+	if ts[0].O.Value != "a\tb\nc\"d\\e" {
+		t.Errorf("escaped value = %q", ts[0].O.Value)
+	}
+	if ts[1].O.Value != "A\U0001F600" {
+		t.Errorf("unicode escape = %q", ts[1].O.Value)
+	}
+}
+
+func TestNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`"lit" <http://x/p> "o" .`,          // literal subject
+		`<http://x/s> "p" "o" .`,            // literal predicate
+		`<http://x/s> _:b "o" .`,            // blank predicate
+		`<http://x/s> <http://x/p> "o"`,     // missing dot
+		`<http://x/s> <http://x/p> "o" . x`, // trailing junk
+		`<http://x/s> <http://x/p> "o .`,    // unterminated string
+		`<http://x/s <http://x/p> "o" .`,    // unterminated IRI
+		`<http://x/s> <http://x/p> "a\q" .`, // bad escape
+		`<http://x/s> <http://x/p> "a"@ .`,  // empty lang
+		`<> <http://x/p> "o" .`,             // empty IRI
+	}
+	for _, in := range bad {
+		_, err := NewReader(strings.NewReader(in)).ReadAll()
+		if err == nil {
+			t.Errorf("no error for %q", in)
+			continue
+		}
+		var pe *ParseError
+		if !asParseError(err, &pe) {
+			t.Errorf("error for %q is %T, want *ParseError", in, err)
+		}
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := NewReader(strings.NewReader("junk line\n")).ReadAll()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T, want *ParseError", err)
+	}
+	if pe.Line != 1 {
+		t.Errorf("Line = %d, want 1", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 1") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	ts := []Triple{
+		{NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")},
+		{NewIRI("http://x/s"), NewIRI("http://x/p"), NewString("tab\there \"q\" \\back")},
+		{NewIRI("http://x/s"), NewIRI("http://x/p"), NewLangString("hé", "fr")},
+		{NewIRI("http://x/s"), NewIRI("http://x/p"), NewTyped("2.5", XSDDouble)},
+		{NewBlank("node1"), NewIRI("http://x/p"), NewInt(9)},
+	}
+	var sb strings.Builder
+	if err := NewWriter(&sb).WriteAll(ts); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got := parseAll(t, sb.String())
+	if len(got) != len(ts) {
+		t.Fatalf("round trip got %d triples, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty input = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	tr := Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewString(strings.Repeat("x", 1<<16))}
+	_ = w.Write(tr)
+	if err := w.Flush(); err == nil {
+		t.Error("expected sticky error from Flush")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

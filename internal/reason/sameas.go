@@ -1,0 +1,166 @@
+// Package reason implements lightweight owl:sameAs reasoning: the
+// symmetric-transitive closure of sameAs statements via union-find,
+// canonical representatives per equivalence class, and materialization of
+// the closure back into a store. In a federation where ALEX has linked
+// several data-set pairs, closure composes the pairwise link sets into full
+// equivalence classes (a ↔ b ↔ c), which is what downstream consumers of
+// owl:sameAs semantics expect.
+package reason
+
+import (
+	"sort"
+
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// SameAs is the equivalence structure over entities built from sameAs
+// links. Build it with NewSameAs and query classes, representatives and
+// equivalences.
+type SameAs struct {
+	parent map[rdf.TermID]rdf.TermID
+	rank   map[rdf.TermID]int
+}
+
+// NewSameAs builds the closure of one or more link sets.
+func NewSameAs(sets ...*linkset.Set) *SameAs {
+	s := &SameAs{
+		parent: map[rdf.TermID]rdf.TermID{},
+		rank:   map[rdf.TermID]int{},
+	}
+	for _, set := range sets {
+		for _, l := range set.Links() {
+			s.union(l.Left, l.Right)
+		}
+	}
+	return s
+}
+
+// AddStatements unions every owl:sameAs statement found in the store.
+func (s *SameAs) AddStatements(st *store.Store) {
+	sameAsID, ok := st.Dict().Lookup(rdf.NewIRI(rdf.OWLSameAs))
+	if !ok {
+		return
+	}
+	for _, t := range st.Match(rdf.NoTerm, sameAsID, rdf.NoTerm) {
+		s.union(t.S, t.O)
+	}
+}
+
+func (s *SameAs) find(x rdf.TermID) rdf.TermID {
+	p, ok := s.parent[x]
+	if !ok {
+		s.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := s.find(p)
+	s.parent[x] = root // path compression
+	return root
+}
+
+func (s *SameAs) union(a, b rdf.TermID) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	// Union by rank with deterministic tie-break toward the smaller id,
+	// so representatives are stable across runs.
+	switch {
+	case s.rank[ra] < s.rank[rb]:
+		ra, rb = rb, ra
+	case s.rank[ra] == s.rank[rb]:
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		s.rank[ra]++
+	}
+	s.parent[rb] = ra
+}
+
+// Same reports whether two entities are in the same equivalence class.
+func (s *SameAs) Same(a, b rdf.TermID) bool {
+	if a == b {
+		return true
+	}
+	return s.find(a) == s.find(b)
+}
+
+// Representative returns the canonical member of x's class (x itself when
+// x was never linked).
+func (s *SameAs) Representative(x rdf.TermID) rdf.TermID {
+	return s.find(x)
+}
+
+// Equivalents returns the members of x's class excluding x, sorted.
+func (s *SameAs) Equivalents(x rdf.TermID) []rdf.TermID {
+	root := s.find(x)
+	var out []rdf.TermID
+	for member := range s.parent {
+		if member != x && s.find(member) == root {
+			out = append(out, member)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Classes returns every equivalence class with at least two members, each
+// sorted, ordered by their smallest member.
+func (s *SameAs) Classes() [][]rdf.TermID {
+	byRoot := map[rdf.TermID][]rdf.TermID{}
+	for member := range s.parent {
+		root := s.find(member)
+		byRoot[root] = append(byRoot[root], member)
+	}
+	var out [][]rdf.TermID
+	for _, class := range byRoot {
+		if len(class) < 2 {
+			continue
+		}
+		sort.Slice(class, func(i, j int) bool { return class[i] < class[j] })
+		out = append(out, class)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ClosureLinks returns the full closure as links: every ordered pair
+// (a, b) with a < b in the same class. For a class of size k this yields
+// k·(k−1)/2 links — the materialized symmetric-transitive closure with
+// the trivial directions deduplicated.
+func (s *SameAs) ClosureLinks() []linkset.Link {
+	var out []linkset.Link
+	for _, class := range s.Classes() {
+		for i := 0; i < len(class); i++ {
+			for j := i + 1; j < len(class); j++ {
+				out = append(out, linkset.Link{Left: class[i], Right: class[j]})
+			}
+		}
+	}
+	return out
+}
+
+// Materialize writes the closure into st as owl:sameAs triples (both
+// directions), returning the number of triples added.
+func (s *SameAs) Materialize(st *store.Store) int {
+	sameAs := rdf.NewIRI(rdf.OWLSameAs)
+	dict := st.Dict()
+	added := 0
+	for _, l := range s.ClosureLinks() {
+		a, b := dict.Term(l.Left), dict.Term(l.Right)
+		if a.IsZero() || b.IsZero() {
+			continue
+		}
+		if st.Add(rdf.Triple{S: a, P: sameAs, O: b}) {
+			added++
+		}
+		if st.Add(rdf.Triple{S: b, P: sameAs, O: a}) {
+			added++
+		}
+	}
+	return added
+}

@@ -1,0 +1,153 @@
+package reason
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alex/internal/linkset"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+func lk(a, b uint32) linkset.Link {
+	return linkset.Link{Left: rdf.TermID(a), Right: rdf.TermID(b)}
+}
+
+func TestSameAsBasicClosure(t *testing.T) {
+	// a-b, b-c chain plus an unrelated d-e pair.
+	s := NewSameAs(linkset.FromLinks([]linkset.Link{lk(1, 2), lk(2, 3), lk(10, 11)}))
+	if !s.Same(1, 3) {
+		t.Error("transitive closure missed 1~3")
+	}
+	if !s.Same(3, 1) {
+		t.Error("closure not symmetric")
+	}
+	if s.Same(1, 10) {
+		t.Error("distinct classes merged")
+	}
+	if !s.Same(7, 7) {
+		t.Error("reflexivity broken")
+	}
+}
+
+func TestSameAsRepresentativeStable(t *testing.T) {
+	s := NewSameAs(linkset.FromLinks([]linkset.Link{lk(5, 3), lk(3, 9), lk(9, 1)}))
+	rep := s.Representative(5)
+	for _, x := range []uint32{1, 3, 5, 9} {
+		if got := s.Representative(rdf.TermID(x)); got != rep {
+			t.Errorf("Representative(%d) = %d, want %d", x, got, rep)
+		}
+	}
+	// Never-linked entity represents itself.
+	if s.Representative(42) != 42 {
+		t.Error("singleton representative wrong")
+	}
+}
+
+func TestSameAsEquivalentsAndClasses(t *testing.T) {
+	s := NewSameAs(linkset.FromLinks([]linkset.Link{lk(1, 2), lk(2, 3), lk(10, 11)}))
+	eq := s.Equivalents(2)
+	if len(eq) != 2 || eq[0] != 1 || eq[1] != 3 {
+		t.Errorf("Equivalents(2) = %v", eq)
+	}
+	classes := s.Classes()
+	if len(classes) != 2 {
+		t.Fatalf("Classes = %v", classes)
+	}
+	if len(classes[0]) != 3 || len(classes[1]) != 2 {
+		t.Errorf("class sizes = %d, %d", len(classes[0]), len(classes[1]))
+	}
+}
+
+func TestSameAsClosureLinks(t *testing.T) {
+	s := NewSameAs(linkset.FromLinks([]linkset.Link{lk(1, 2), lk(2, 3)}))
+	links := s.ClosureLinks()
+	// Class {1,2,3}: 3 pairs.
+	if len(links) != 3 {
+		t.Fatalf("ClosureLinks = %v", links)
+	}
+	want := map[linkset.Link]bool{lk(1, 2): true, lk(1, 3): true, lk(2, 3): true}
+	for _, l := range links {
+		if !want[l] {
+			t.Errorf("unexpected closure link %v", l)
+		}
+	}
+}
+
+func TestSameAsFromStoreAndMaterialize(t *testing.T) {
+	dict := rdf.NewDict()
+	st := store.New("x", dict)
+	same := rdf.NewIRI(rdf.OWLSameAs)
+	a, b, c := rdf.NewIRI("http://1/a"), rdf.NewIRI("http://2/b"), rdf.NewIRI("http://3/c")
+	st.Add(rdf.Triple{S: a, P: same, O: b})
+	st.Add(rdf.Triple{S: b, P: same, O: c})
+
+	s := NewSameAs()
+	s.AddStatements(st)
+	aID, _ := dict.Lookup(a)
+	cID, _ := dict.Lookup(c)
+	if !s.Same(aID, cID) {
+		t.Fatal("store statements not unioned")
+	}
+	added := s.Materialize(st)
+	if added == 0 {
+		t.Fatal("nothing materialized")
+	}
+	// The closed store now answers a sameAs c directly.
+	if !st.Contains(rdf.Triple{S: a, P: same, O: c}) {
+		t.Error("a sameAs c not materialized")
+	}
+	if !st.Contains(rdf.Triple{S: c, P: same, O: a}) {
+		t.Error("c sameAs a (symmetric) not materialized")
+	}
+	// Re-materializing is idempotent.
+	if again := s.Materialize(st); again != 0 {
+		t.Errorf("second materialize added %d", again)
+	}
+}
+
+func TestSameAsNoStatements(t *testing.T) {
+	st := store.New("empty", rdf.NewDict())
+	s := NewSameAs()
+	s.AddStatements(st) // no sameAs predicate interned: no-op
+	if got := s.Classes(); len(got) != 0 {
+		t.Errorf("classes = %v", got)
+	}
+}
+
+// Property: Same is an equivalence relation consistent with the input
+// links, and ClosureLinks covers exactly the connected components.
+func TestSameAsEquivalenceProperty(t *testing.T) {
+	prop := func(pairs []uint16) bool {
+		var links []linkset.Link
+		for _, p := range pairs {
+			a := uint32(p%13) + 1
+			b := uint32(p/13%13) + 1
+			links = append(links, lk(a, b))
+		}
+		s := NewSameAs(linkset.FromLinks(links))
+		// Every input link is in the closure.
+		for _, l := range links {
+			if !s.Same(l.Left, l.Right) {
+				return false
+			}
+		}
+		// Symmetry + transitivity spot-check over all pairs in range.
+		for a := rdf.TermID(1); a <= 13; a++ {
+			for b := rdf.TermID(1); b <= 13; b++ {
+				if s.Same(a, b) != s.Same(b, a) {
+					return false
+				}
+				for c := rdf.TermID(1); c <= 13; c++ {
+					if s.Same(a, b) && s.Same(b, c) && !s.Same(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,366 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQTableAppendAndQ(t *testing.T) {
+	q := NewQTable[string, int]()
+	if _, ok := q.Q("s", 1); ok {
+		t.Error("Q defined before any return")
+	}
+	q.Append("s", 1, 1)
+	q.Append("s", 1, 3)
+	v, ok := q.Q("s", 1)
+	if !ok || v != 2 {
+		t.Errorf("Q = %g, %v; want 2, true", v, ok)
+	}
+	if q.Visits("s", 1) != 2 {
+		t.Errorf("Visits = %d", q.Visits("s", 1))
+	}
+	if q.Visits("s", 2) != 0 {
+		t.Errorf("Visits unseen = %d", q.Visits("s", 2))
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestQTableBest(t *testing.T) {
+	q := NewQTable[string, int]()
+	if _, ok := q.Best("s", []int{1, 2, 3}); ok {
+		t.Error("Best defined with no data")
+	}
+	q.Append("s", 1, 0.5)
+	q.Append("s", 2, 2.0)
+	q.Append("s", 3, -1.0)
+	best, ok := q.Best("s", []int{1, 2, 3})
+	if !ok || best != 2 {
+		t.Errorf("Best = %d, %v; want 2", best, ok)
+	}
+	// Candidates restrict the argmax.
+	best, ok = q.Best("s", []int{1, 3})
+	if !ok || best != 1 {
+		t.Errorf("restricted Best = %d", best)
+	}
+	// Unknown actions among candidates are skipped, not treated as zero.
+	q2 := NewQTable[string, int]()
+	q2.Append("s", 1, -5)
+	best, ok = q2.Best("s", []int{9, 1})
+	if !ok || best != 1 {
+		t.Errorf("Best with undefined candidate = %d, %v", best, ok)
+	}
+}
+
+func TestQTableBestTieBreaksFirst(t *testing.T) {
+	q := NewQTable[string, int]()
+	q.Append("s", 2, 1)
+	q.Append("s", 1, 1)
+	best, _ := q.Best("s", []int{1, 2})
+	if best != 1 {
+		t.Errorf("tie break = %d, want first candidate", best)
+	}
+}
+
+func TestQTableAverageProperty(t *testing.T) {
+	prop := func(rewards []float64) bool {
+		if len(rewards) == 0 {
+			return true
+		}
+		q := NewQTable[int, int]()
+		sum := 0.0
+		n := 0
+		for _, r := range rewards {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			// Bound magnitudes: rewards in ALEX are small integers; huge
+			// inputs only test float overflow, not averaging.
+			r = math.Mod(r, 1000)
+			q.Append(0, 0, r)
+			sum += r
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		v, ok := q.Q(0, 0)
+		return ok && math.Abs(v-sum/float64(n)) < 1e-6*math.Max(1, math.Abs(sum))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpsilonGreedyStableArbitraryAction(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
+	a1 := p.Action("s", []int{7, 8, 9})
+	for i := 0; i < 10; i++ {
+		if a2 := p.Action("s", []int{7, 8, 9}); a2 != a1 {
+			t.Fatalf("arbitrary action changed: %d then %d", a1, a2)
+		}
+	}
+}
+
+func TestEpsilonGreedyArbitraryActionUnbiased(t *testing.T) {
+	// Across many fresh states, the arbitrary initial action must spread
+	// over the whole action set, not collapse onto one index.
+	p := NewEpsilonGreedy[int, int](0, rand.New(rand.NewSource(5)))
+	counts := map[int]int{}
+	for s := 0; s < 300; s++ {
+		counts[p.Action(s, []int{1, 2, 3})]++
+	}
+	for a := 1; a <= 3; a++ {
+		if counts[a] < 50 {
+			t.Errorf("action %d chosen %d/300 times, want roughly uniform", a, counts[a])
+		}
+	}
+}
+
+func TestEpsilonGreedyFollowsImprovedAction(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
+	p.Improve("s", 9)
+	for i := 0; i < 10; i++ {
+		if got := p.Action("s", []int{7, 8, 9}); got != 9 {
+			t.Fatalf("greedy action = %d, want 9", got)
+		}
+	}
+	g, ok := p.Greedy("s")
+	if !ok || g != 9 {
+		t.Errorf("Greedy = %d, %v", g, ok)
+	}
+}
+
+func TestEpsilonGreedyExplores(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0.5, rand.New(rand.NewSource(42)))
+	p.Improve("s", 1)
+	counts := map[int]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[p.Action("s", []int{1, 2, 3, 4})]++
+	}
+	// Expected: P(1) = 1-ε+ε/4 = 0.625, others 0.125 each.
+	if f := float64(counts[1]) / n; math.Abs(f-0.625) > 0.05 {
+		t.Errorf("greedy frequency = %g, want ~0.625", f)
+	}
+	for a := 2; a <= 4; a++ {
+		if counts[a] == 0 {
+			t.Errorf("action %d never explored", a)
+		}
+		if f := float64(counts[a]) / n; math.Abs(f-0.125) > 0.04 {
+			t.Errorf("action %d frequency = %g, want ~0.125", a, f)
+		}
+	}
+}
+
+func TestEpsilonGreedyProb(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0.2, rand.New(rand.NewSource(1)))
+	p.Improve("s", 1)
+	actions := []int{1, 2, 3, 4}
+	if got := p.Prob("s", 1, actions); math.Abs(got-(0.8+0.05)) > 1e-9 {
+		t.Errorf("Prob(greedy) = %g", got)
+	}
+	if got := p.Prob("s", 2, actions); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("Prob(non-greedy) = %g", got)
+	}
+	// Probabilities sum to 1 over A(s).
+	sum := 0.0
+	for _, a := range actions {
+		sum += p.Prob("s", a, actions)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if p.Prob("s", 1, nil) != 0 {
+		t.Error("Prob with empty action set should be 0")
+	}
+	// Un-improved state: first candidate acts as greedy.
+	if got := p.Prob("t", 5, []int{5, 6}); math.Abs(got-(0.8+0.1)) > 1e-9 {
+		t.Errorf("Prob un-improved greedy = %g", got)
+	}
+}
+
+func TestEpsilonGreedyEveryActionPositiveProb(t *testing.T) {
+	// The paper's continuous-exploration invariant: π(s,a) ≥ ε/|A(s)| > 0.
+	prop := func(eps float64, nActions uint8) bool {
+		if math.IsNaN(eps) {
+			return true
+		}
+		eps = math.Abs(math.Mod(eps, 1))
+		if eps == 0 {
+			eps = 0.1
+		}
+		n := int(nActions%8) + 1
+		p := NewEpsilonGreedy[int, int](eps, rand.New(rand.NewSource(3)))
+		actions := make([]int, n)
+		for i := range actions {
+			actions[i] = i
+		}
+		p.Improve(0, 0)
+		minProb := eps / float64(n)
+		for _, a := range actions {
+			if p.Prob(0, a, actions) < minProb-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpsilonGreedyGreedyGone(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
+	p.Improve("s", 99)
+	if got := p.Action("s", []int{1, 2}); got != 1 {
+		t.Errorf("vanished greedy fallback = %d, want 1", got)
+	}
+}
+
+func TestEpsilonGreedyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty action set")
+		}
+	}()
+	p := NewEpsilonGreedy[string, int](0.1, rand.New(rand.NewSource(1)))
+	p.Action("s", nil)
+}
+
+func TestEpsilonGreedyLen(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0.1, rand.New(rand.NewSource(1)))
+	p.Improve("a", 1)
+	p.Improve("b", 2)
+	p.Improve("a", 3)
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestFirstVisitTracker(t *testing.T) {
+	tr := NewFirstVisitTracker[string]()
+	if !tr.FirstVisit("a") {
+		t.Error("first visit = false")
+	}
+	if tr.FirstVisit("a") {
+		t.Error("second visit = true")
+	}
+	if !tr.FirstVisit("b") {
+		t.Error("different state first visit = false")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	tr.Reset()
+	if !tr.FirstVisit("a") {
+		t.Error("visit after Reset = false (should be a new first visit)")
+	}
+}
+
+// Policy-improvement soundness on a toy problem: a 1-state bandit with one
+// good and one bad action must converge to the good action within a few
+// episodes (the paper's §5 guarantee instantiated).
+func TestPolicyIterationConvergesOnBandit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewQTable[int, int]()
+	p := NewEpsilonGreedy[int, int](0.1, rng)
+	actions := []int{0, 1} // action 1 pays +1, action 0 pays -1
+	for episode := 0; episode < 20; episode++ {
+		for step := 0; step < 50; step++ {
+			a := p.Action(0, actions)
+			reward := -1.0
+			if a == 1 {
+				reward = 1.0
+			}
+			q.Append(0, a, reward)
+		}
+		if best, ok := q.Best(0, actions); ok {
+			p.Improve(0, best)
+		}
+	}
+	if g, _ := p.Greedy(0); g != 1 {
+		t.Errorf("converged greedy action = %d, want 1", g)
+	}
+	v1, _ := q.Q(0, 1)
+	v0, _ := q.Q(0, 0)
+	if v1 <= v0 {
+		t.Errorf("Q(1)=%g not above Q(0)=%g", v1, v0)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func TestQTableBestOptimistic(t *testing.T) {
+	q := NewQTable[string, int]()
+	if _, ok := q.BestOptimistic("s", nil, 0); ok {
+		t.Error("empty candidates returned ok")
+	}
+	// Only tried action is bad: the untried one (default 0) must win.
+	q.Append("s", 1, -1)
+	best, ok := q.BestOptimistic("s", []int{1, 2}, 0)
+	if !ok || best != 2 {
+		t.Errorf("BestOptimistic = %d, %v; want 2", best, ok)
+	}
+	// A good tried action beats the default.
+	q.Append("s", 3, 0.5)
+	best, _ = q.BestOptimistic("s", []int{1, 2, 3}, 0)
+	if best != 3 {
+		t.Errorf("BestOptimistic = %d, want 3", best)
+	}
+	// With a pessimistic default, tried-but-mediocre wins over untried.
+	best, _ = q.BestOptimistic("s", []int{1, 2}, -5)
+	if best != 1 {
+		t.Errorf("pessimistic BestOptimistic = %d, want 1", best)
+	}
+}
+
+func TestQTableEntriesAndLoad(t *testing.T) {
+	q := NewQTable[string, int]()
+	q.Append("a", 1, 2)
+	q.Append("a", 1, 4)
+	q.Append("b", 2, -1)
+	entries := q.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("Entries = %v", entries)
+	}
+	// Round trip into a fresh table.
+	q2 := NewQTable[string, int]()
+	for _, e := range entries {
+		q2.Load(e)
+	}
+	for _, e := range entries {
+		v1, _ := q.Q(e.State, e.Action)
+		v2, ok := q2.Q(e.State, e.Action)
+		if !ok || v1 != v2 {
+			t.Errorf("restored Q(%v,%v) = %g, want %g", e.State, e.Action, v2, v1)
+		}
+		if q2.Visits(e.State, e.Action) != q.Visits(e.State, e.Action) {
+			t.Errorf("restored visits differ for %v", e)
+		}
+	}
+}
+
+func TestEpsilonGreedyGreedyEntries(t *testing.T) {
+	p := NewEpsilonGreedy[string, int](0.1, rand.New(rand.NewSource(1)))
+	p.Improve("a", 1)
+	p.Improve("b", 2)
+	m := p.GreedyEntries()
+	if len(m) != 2 || m["a"] != 1 || m["b"] != 2 {
+		t.Errorf("GreedyEntries = %v", m)
+	}
+	// The export is a copy.
+	m["a"] = 99
+	if g, _ := p.Greedy("a"); g != 1 {
+		t.Error("GreedyEntries leaked internal map")
+	}
+}

@@ -1,0 +1,143 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Policy is the interface the ALEX engine drives: select an action for a
+// state, accept policy-improvement updates, and report the remembered
+// greedy action (used to detect never-seen states). EpsilonGreedy is the
+// paper's policy; Softmax is an alternative stochastic policy for the
+// policy-shape ablation.
+type Policy[S comparable, A comparable] interface {
+	Action(s S, actions []A) A
+	Improve(s S, best A)
+	Greedy(s S) (A, bool)
+	// GreedyEntries exports every remembered greedy action, for
+	// persistence and introspection.
+	GreedyEntries() map[S]A
+}
+
+var (
+	_ Policy[int, int] = (*EpsilonGreedy[int, int])(nil)
+	_ Policy[int, int] = (*Softmax[int, int])(nil)
+)
+
+// Softmax is a Boltzmann policy: actions are chosen with probability
+// proportional to exp(Q(s,a)/Temp). Unlike ε-greedy, exploration pressure
+// scales with how close the action values are — clearly bad actions are
+// almost never re-tried, while near-ties keep being compared. Untried
+// actions count as Q = 0, which sits above punished actions and below
+// rewarded ones: built-in optimism for the untried.
+type Softmax[S comparable, A comparable] struct {
+	// Temp is the temperature τ; higher is more uniform. Zero defaults
+	// to 0.5.
+	Temp float64
+	q    *QTable[S, A]
+	rng  *rand.Rand
+	// greedy remembers the last improvement per state, so the engine's
+	// "never seen this state" probe works identically to ε-greedy.
+	greedy map[S]A
+}
+
+// NewSoftmax returns a softmax policy reading action values from q.
+func NewSoftmax[S comparable, A comparable](temp float64, q *QTable[S, A], rng *rand.Rand) *Softmax[S, A] {
+	if temp <= 0 {
+		temp = 0.5
+	}
+	return &Softmax[S, A]{Temp: temp, q: q, rng: rng, greedy: make(map[S]A)}
+}
+
+// Action samples an action with Boltzmann probabilities over the current
+// action-value estimates. It panics on an empty action set, matching
+// EpsilonGreedy.
+func (p *Softmax[S, A]) Action(s S, actions []A) A {
+	if len(actions) == 0 {
+		panic("rl: Action called with no available actions")
+	}
+	if _, seen := p.greedy[s]; !seen {
+		// Remember an arbitrary action so Greedy reports the state as
+		// known, mirroring ε-greedy's bookkeeping.
+		p.greedy[s] = actions[p.rng.Intn(len(actions))]
+	}
+	weights := make([]float64, len(actions))
+	maxQ := math.Inf(-1)
+	qs := make([]float64, len(actions))
+	for i, a := range actions {
+		v, ok := p.q.Q(s, a)
+		if !ok {
+			v = 0
+		}
+		qs[i] = v
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	total := 0.0
+	for i := range actions {
+		// Subtract the max for numerical stability.
+		weights[i] = math.Exp((qs[i] - maxQ) / p.Temp)
+		total += weights[i]
+	}
+	r := p.rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return actions[i]
+		}
+	}
+	return actions[len(actions)-1]
+}
+
+// Improve records the greedy action; selection probabilities already track
+// the value estimates, so no distribution change is needed.
+func (p *Softmax[S, A]) Improve(s S, best A) { p.greedy[s] = best }
+
+// Greedy returns the remembered greedy action.
+func (p *Softmax[S, A]) Greedy(s S) (A, bool) {
+	a, ok := p.greedy[s]
+	return a, ok
+}
+
+// GreedyEntries exports the remembered greedy action of every state
+// (unordered), for persistence.
+func (p *Softmax[S, A]) GreedyEntries() map[S]A {
+	out := make(map[S]A, len(p.greedy))
+	for s, a := range p.greedy {
+		out[s] = a
+	}
+	return out
+}
+
+// Prob returns the selection probability of a at s given the action set.
+func (p *Softmax[S, A]) Prob(s S, a A, actions []A) float64 {
+	if len(actions) == 0 {
+		return 0
+	}
+	maxQ := math.Inf(-1)
+	qs := make([]float64, len(actions))
+	for i, x := range actions {
+		v, ok := p.q.Q(s, x)
+		if !ok {
+			v = 0
+		}
+		qs[i] = v
+		if v > maxQ {
+			maxQ = v
+		}
+	}
+	total := 0.0
+	target := -1.0
+	for i, x := range actions {
+		w := math.Exp((qs[i] - maxQ) / p.Temp)
+		total += w
+		if x == a {
+			target = w
+		}
+	}
+	if target < 0 {
+		return 0
+	}
+	return target / total
+}

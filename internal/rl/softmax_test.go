@@ -1,0 +1,113 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSoftmaxPrefersHigherQ(t *testing.T) {
+	q := NewQTable[string, int]()
+	q.Append("s", 1, 1)  // good
+	q.Append("s", 2, -1) // bad
+	p := NewSoftmax(0.3, q, rand.New(rand.NewSource(1)))
+	counts := map[int]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[p.Action("s", []int{1, 2})]++
+	}
+	// exp(0/0.3) vs exp(-2/0.3): action 1 should dominate heavily.
+	if f := float64(counts[1]) / n; f < 0.95 {
+		t.Errorf("good action frequency = %g, want > 0.95", f)
+	}
+	if counts[2] == 0 {
+		t.Error("bad action never explored (softmax keeps nonzero probability)")
+	}
+}
+
+func TestSoftmaxUntriedActionsOptimistic(t *testing.T) {
+	q := NewQTable[string, int]()
+	q.Append("s", 1, -1) // punished
+	p := NewSoftmax(0.3, q, rand.New(rand.NewSource(2)))
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		counts[p.Action("s", []int{1, 2})]++ // 2 untried => Q 0 > -1
+	}
+	if counts[2] < counts[1] {
+		t.Errorf("untried action chosen less than punished: %v", counts)
+	}
+}
+
+func TestSoftmaxProbSumsToOne(t *testing.T) {
+	q := NewQTable[string, int]()
+	q.Append("s", 1, 0.7)
+	q.Append("s", 2, -0.4)
+	p := NewSoftmax(0.5, q, rand.New(rand.NewSource(3)))
+	actions := []int{1, 2, 3}
+	sum := 0.0
+	for _, a := range actions {
+		pr := p.Prob("s", a, actions)
+		if pr <= 0 || pr >= 1 {
+			t.Errorf("Prob(%d) = %g out of (0,1)", a, pr)
+		}
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if p.Prob("s", 99, actions) != 0 {
+		t.Error("Prob of absent action != 0")
+	}
+	if p.Prob("s", 1, nil) != 0 {
+		t.Error("Prob with no actions != 0")
+	}
+}
+
+func TestSoftmaxGreedyBookkeeping(t *testing.T) {
+	q := NewQTable[string, int]()
+	p := NewSoftmax(0, q, rand.New(rand.NewSource(4))) // zero temp defaults
+	if p.Temp != 0.5 {
+		t.Errorf("default Temp = %g", p.Temp)
+	}
+	if _, seen := p.Greedy("s"); seen {
+		t.Error("unseen state reported greedy")
+	}
+	p.Action("s", []int{7})
+	if _, seen := p.Greedy("s"); !seen {
+		t.Error("Action did not record the state")
+	}
+	p.Improve("s", 9)
+	if g, _ := p.Greedy("s"); g != 9 {
+		t.Errorf("Greedy after Improve = %d", g)
+	}
+	if m := p.GreedyEntries(); len(m) != 1 || m["s"] != 9 {
+		t.Errorf("GreedyEntries = %v", m)
+	}
+}
+
+func TestSoftmaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p := NewSoftmax(0.5, NewQTable[string, int](), rand.New(rand.NewSource(5)))
+	p.Action("s", nil)
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	// Extreme Q values must not produce NaN/zero-total weights.
+	q := NewQTable[string, int]()
+	q.Append("s", 1, 500)
+	q.Append("s", 2, -500)
+	p := NewSoftmax(0.1, q, rand.New(rand.NewSource(6)))
+	for i := 0; i < 100; i++ {
+		a := p.Action("s", []int{1, 2})
+		if a != 1 && a != 2 {
+			t.Fatalf("invalid action %d", a)
+		}
+	}
+	if pr := p.Prob("s", 1, []int{1, 2}); math.IsNaN(pr) || pr < 0.99 {
+		t.Errorf("Prob under extreme Q = %g", pr)
+	}
+}

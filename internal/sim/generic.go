@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"alex/internal/rdf"
+)
+
+// ValueType classifies a literal's lexical form for metric dispatch.
+type ValueType uint8
+
+const (
+	// TypeString is the fallback for free text.
+	TypeString ValueType = iota
+	// TypeInt is an integer lexical form.
+	TypeInt
+	// TypeFloat is a non-integer numeric lexical form.
+	TypeFloat
+	// TypeDate is an ISO-8601 date (yyyy-mm-dd).
+	TypeDate
+	// TypeIRI is a resource reference.
+	TypeIRI
+)
+
+func (v ValueType) String() string {
+	switch v {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeDate:
+		return "date"
+	case TypeIRI:
+		return "iri"
+	default:
+		return "string"
+	}
+}
+
+// Infer classifies a term. Datatyped literals are classified by datatype;
+// plain literals by their lexical form.
+func Infer(t rdf.Term) ValueType {
+	switch t.Kind {
+	case rdf.KindIRI, rdf.KindBlank:
+		return TypeIRI
+	case rdf.KindLiteral:
+		switch t.Datatype {
+		case rdf.XSDInteger:
+			return TypeInt
+		case rdf.XSDDouble:
+			return TypeFloat
+		case rdf.XSDDate:
+			return TypeDate
+		}
+		v := strings.TrimSpace(t.Value)
+		if v == "" {
+			return TypeString
+		}
+		if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return TypeInt
+		}
+		if _, err := strconv.ParseFloat(v, 64); err == nil {
+			return TypeFloat
+		}
+		if _, err := time.Parse("2006-01-02", v); err == nil {
+			return TypeDate
+		}
+		return TypeString
+	default:
+		return TypeString
+	}
+}
+
+// NumericSim returns a relative-difference similarity for two numbers:
+// 1 - |a-b| / max(|a|, |b|), floored at 0. Equal values (including 0, 0)
+// score 1.
+func NumericSim(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 1
+	}
+	s := 1 - math.Abs(a-b)/den
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// DateSimWindow is the day span over which date similarity decays linearly
+// to zero.
+const DateSimWindow = 365.0
+
+// DateSim decays linearly with the day difference: same day scores 1, a
+// difference of DateSimWindow days or more scores 0.
+func DateSim(a, b time.Time) float64 {
+	days := math.Abs(a.Sub(b).Hours() / 24)
+	if days >= DateSimWindow {
+		return 0
+	}
+	return 1 - days/DateSimWindow
+}
+
+// YearSimWindow is the year span over which year similarity decays
+// linearly to zero.
+const YearSimWindow = 25.0
+
+// YearSim compares two calendar years: equal years score 1, a gap of
+// YearSimWindow years or more scores 0. Relative numeric difference is the
+// wrong metric for years (1984 vs 1988 would score 0.998); a linear decay
+// over a human-scale window keeps the feature discriminative.
+func YearSim(a, b int64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if float64(d) >= YearSimWindow {
+		return 0
+	}
+	return 1 - float64(d)/YearSimWindow
+}
+
+// isYear reports whether an integer plausibly denotes a calendar year.
+func isYear(v int64) bool { return v >= 1000 && v <= 2200 }
+
+// iriLocalName extracts the fragment or last path segment of an IRI.
+func iriLocalName(iri string) string {
+	if i := strings.LastIndexByte(iri, '#'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	if i := strings.LastIndexByte(iri, '/'); i >= 0 && i+1 < len(iri) {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// IRISim compares two IRIs by exact match, then by the string similarity of
+// their local names with underscores treated as spaces.
+func IRISim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la := strings.ReplaceAll(iriLocalName(a), "_", " ")
+	lb := strings.ReplaceAll(iriLocalName(b), "_", " ")
+	// Distinct IRIs never score a perfect 1 even with equal local names:
+	// different namespaces may reuse names for different resources.
+	s := StringSim(la, lb)
+	if s > 0.99 {
+		s = 0.99
+	}
+	return s
+}
+
+// Generic is the paper's type-dispatched similarity: it infers the types of
+// both values and applies the matching metric. Mixed types that are both
+// numeric compare numerically; a date and a bare year compare by year;
+// anything else falls back to string similarity over lexical forms.
+func Generic(a, b rdf.Term) float64 {
+	ta, tb := Infer(a), Infer(b)
+	switch {
+	case ta == TypeIRI && tb == TypeIRI:
+		return IRISim(a.Value, b.Value)
+	case (ta == TypeInt || ta == TypeFloat) && (tb == TypeInt || tb == TypeFloat):
+		if ta == TypeInt && tb == TypeInt {
+			ia, okA := a.AsInt()
+			ib, okB := b.AsInt()
+			if okA && okB && isYear(ia) && isYear(ib) {
+				return YearSim(ia, ib)
+			}
+		}
+		fa, okA := a.AsFloat()
+		fb, okB := b.AsFloat()
+		if okA && okB {
+			return NumericSim(fa, fb)
+		}
+	case ta == TypeDate && tb == TypeDate:
+		da, okA := a.AsDate()
+		db, okB := b.AsDate()
+		if okA && okB {
+			return DateSim(da, db)
+		}
+	case ta == TypeDate && tb == TypeInt:
+		return yearSim(a, b)
+	case ta == TypeInt && tb == TypeDate:
+		return yearSim(b, a)
+	}
+	return StringSim(strings.ToLower(a.Value), strings.ToLower(b.Value))
+}
+
+// yearSim compares a date literal against a bare integer year.
+func yearSim(date, year rdf.Term) float64 {
+	d, okD := date.AsDate()
+	y, okY := year.AsInt()
+	if !okD || !okY {
+		return 0
+	}
+	return YearSim(int64(d.Year()), y)
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"alex/internal/rdf"
+)
+
+func TestInfer(t *testing.T) {
+	tests := []struct {
+		term rdf.Term
+		want ValueType
+	}{
+		{rdf.NewIRI("http://x/a"), TypeIRI},
+		{rdf.NewBlank("b"), TypeIRI},
+		{rdf.NewInt(5), TypeInt},
+		{rdf.NewFloat(2.5), TypeFloat},
+		{rdf.NewDate(time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)), TypeDate},
+		{rdf.NewString("42"), TypeInt},
+		{rdf.NewString("3.25"), TypeFloat},
+		{rdf.NewString("1984-12-30"), TypeDate},
+		{rdf.NewString("hello world"), TypeString},
+		{rdf.NewString(""), TypeString},
+		{rdf.NewLangString("bonjour", "fr"), TypeString},
+	}
+	for _, tt := range tests {
+		if got := Infer(tt.term); got != tt.want {
+			t.Errorf("Infer(%v) = %v, want %v", tt.term, got, tt.want)
+		}
+	}
+}
+
+func TestValueTypeString(t *testing.T) {
+	names := map[ValueType]string{
+		TypeString: "string", TypeInt: "int", TypeFloat: "float",
+		TypeDate: "date", TypeIRI: "iri",
+	}
+	for vt, want := range names {
+		if vt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", vt, vt.String(), want)
+		}
+	}
+}
+
+func TestNumericSim(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 1},
+		{5, 5, 1},
+		{10, 5, 0.5},
+		{5, 10, 0.5},
+		{-5, 5, 0},
+		{100, 99, 0.99},
+		{1, 1000, 1.0 / 1000},
+	}
+	for _, tt := range tests {
+		if got := NumericSim(tt.a, tt.b); !almostEq(got, tt.want) {
+			t.Errorf("NumericSim(%g,%g) = %g, want %g", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDateSim(t *testing.T) {
+	base := time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+	if got := DateSim(base, base); got != 1 {
+		t.Errorf("same day = %g", got)
+	}
+	halfYear := base.AddDate(0, 0, 182)
+	got := DateSim(base, halfYear)
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("half-window = %g, want ~0.5", got)
+	}
+	twoYears := base.AddDate(2, 0, 0)
+	if got := DateSim(base, twoYears); got != 0 {
+		t.Errorf("beyond window = %g, want 0", got)
+	}
+	if DateSim(base, halfYear) != DateSim(halfYear, base) {
+		t.Error("DateSim not symmetric")
+	}
+}
+
+func TestIRISim(t *testing.T) {
+	if got := IRISim("http://x/a", "http://x/a"); got != 1 {
+		t.Errorf("identical IRIs = %g", got)
+	}
+	got := IRISim("http://dbpedia.org/resource/LeBron_James", "http://cyc.org/concept/LeBron_James")
+	if got < 0.9 || got >= 1 {
+		t.Errorf("same local name, different namespace = %g, want in [0.9, 1)", got)
+	}
+	if got := IRISim("http://x#Alpha", "http://y/Alpha"); got < 0.9 {
+		t.Errorf("fragment vs path local name = %g", got)
+	}
+	low := IRISim("http://x/Apple", "http://x/Zebra")
+	if low > 0.6 {
+		t.Errorf("unrelated local names = %g, want low", low)
+	}
+}
+
+func TestGenericDispatch(t *testing.T) {
+	d1 := rdf.NewDate(time.Date(1984, 12, 30, 0, 0, 0, 0, time.UTC))
+	tests := []struct {
+		name string
+		a, b rdf.Term
+		want float64
+		tol  float64
+	}{
+		{"iri-iri exact-localname", rdf.NewIRI("http://a/X_Y"), rdf.NewIRI("http://b/X_Y"), 0.99, 1e-9},
+		{"int-int", rdf.NewInt(10), rdf.NewInt(5), 0.5, 1e-9},
+		{"int-float", rdf.NewInt(10), rdf.NewFloat(10), 1, 1e-9},
+		{"plain numeric strings", rdf.NewString("10"), rdf.NewString("5"), 0.5, 1e-9},
+		{"date-date same", d1, d1, 1, 1e-9},
+		{"date-year match", d1, rdf.NewInt(1984), 1, 1e-9},
+		{"year-date match", rdf.NewInt(1984), d1, 1, 1e-9},
+		{"string-string", rdf.NewString("abc"), rdf.NewString("abc"), 1, 1e-9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Generic(tt.a, tt.b); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Generic = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGenericCaseInsensitiveStrings(t *testing.T) {
+	if got := Generic(rdf.NewString("LeBron James"), rdf.NewString("lebron james")); got != 1 {
+		t.Errorf("case-insensitive match = %g, want 1", got)
+	}
+}
+
+func TestGenericProperties(t *testing.T) {
+	// Range and symmetry over arbitrary literal pairs.
+	prop := func(a, b string) bool {
+		if len(a) > 48 {
+			a = a[:48]
+		}
+		if len(b) > 48 {
+			b = b[:48]
+		}
+		ta, tb := rdf.NewString(a), rdf.NewString(b)
+		ab, ba := Generic(ta, tb), Generic(tb, ta)
+		return ab >= 0 && ab <= 1 && math.Abs(ab-ba) < 1e-9 && Generic(ta, ta) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericSimProperties(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		s := NumericSim(a, b)
+		return s >= 0 && s <= 1 && almostEq(s, NumericSim(b, a)) && NumericSim(a, a) == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYearSim(t *testing.T) {
+	if YearSim(1984, 1984) != 1 {
+		t.Error("same year != 1")
+	}
+	if got := YearSim(1984, 1988); got < 0.8 || got >= 1 {
+		t.Errorf("4-year gap = %g, want in [0.8, 1)", got)
+	}
+	if YearSim(1900, 1990) != 0 {
+		t.Error("90-year gap != 0")
+	}
+	if YearSim(1984, 1988) != YearSim(1988, 1984) {
+		t.Error("YearSim not symmetric")
+	}
+}
+
+func TestGenericYearVsYear(t *testing.T) {
+	// Two bare years should use YearSim, not relative numeric difference.
+	got := Generic(rdf.NewInt(1984), rdf.NewInt(1988))
+	if got > 0.9 {
+		t.Errorf("Generic(1984, 1988) = %g, want discriminative (< 0.9)", got)
+	}
+	// Non-year integers keep relative difference.
+	if got := Generic(rdf.NewInt(100), rdf.NewInt(99)); got != 0.99 {
+		t.Errorf("Generic(100, 99) = %g, want 0.99", got)
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import "strings"
+
+// Soundex returns the classic 4-character Soundex code of s (letter + 3
+// digits), the phonetic key used to match names that sound alike but are
+// spelled differently ("Robert" / "Rupert" → R163). Non-ASCII-letter input
+// yields an empty code.
+func Soundex(s string) string {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	var first byte
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			first = s[i]
+			s = s[i:]
+			break
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	code := []byte{first}
+	prev := soundexDigit(first)
+	for i := 1; i < len(s) && len(code) < 4; i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			prev = 0
+			continue
+		}
+		d := soundexDigit(c)
+		switch {
+		case d == 0:
+			// Vowels and H/W/Y separate duplicate codes — H and W do not.
+			if c != 'H' && c != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code = append(code, '0'+d)
+			prev = d
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	default:
+		return 0
+	}
+}
+
+// SoundexSim reports 1 when the Soundex codes of two strings match, the
+// fraction of matching code positions otherwise. Useful as a coarse
+// phonetic signal for person names.
+func SoundexSim(a, b string) float64 {
+	ca, cb := Soundex(a), Soundex(b)
+	if ca == "" || cb == "" {
+		return 0
+	}
+	if ca == cb {
+		return 1
+	}
+	match := 0
+	for i := 0; i < 4; i++ {
+		if ca[i] == cb[i] {
+			match++
+		}
+	}
+	return float64(match) / 4
+}
+
+// MongeElkan returns the Monge-Elkan similarity of two strings under an
+// inner token metric: for each token of a, the best match among b's tokens
+// is found, and the scores are averaged. The result is asymmetric in
+// general; MongeElkan symmetrizes by taking the mean of both directions.
+// It captures partial matches like "University of Waterloo" vs "Waterloo
+// Univ." better than whole-string metrics.
+func MongeElkan(a, b string, inner func(a, b string) float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	ta, tb := Tokenize(a), Tokenize(b)
+	return (mongeElkanDirected(ta, tb, inner) + mongeElkanDirected(tb, ta, inner)) / 2
+}
+
+func mongeElkanDirected(ta, tb []string, inner func(a, b string) float64) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := inner(x, y); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(ta))
+}

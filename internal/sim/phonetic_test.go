@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexCanonicalExamples(t *testing.T) {
+	// The canonical examples from the Soundex specification.
+	cases := map[string]string{
+		"Robert":     "R163",
+		"Rupert":     "R163",
+		"Ashcraft":   "A261",
+		"Ashcroft":   "A261",
+		"Tymczak":    "T522",
+		"Pfister":    "P236",
+		"Honeyman":   "H555",
+		"Washington": "W252",
+		"Lee":        "L000",
+		"Gutierrez":  "G362",
+		"Jackson":    "J250",
+	}
+	for in, want := range cases {
+		if got := Soundex(in); got != want {
+			t.Errorf("Soundex(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSoundexEdgeCases(t *testing.T) {
+	if got := Soundex(""); got != "" {
+		t.Errorf("Soundex(\"\") = %q", got)
+	}
+	if got := Soundex("12345"); got != "" {
+		t.Errorf("Soundex(digits) = %q", got)
+	}
+	if got := Soundex("  robert  "); got != "R163" {
+		t.Errorf("Soundex with spaces/case = %q", got)
+	}
+	if got := Soundex("A"); got != "A000" {
+		t.Errorf("Soundex single letter = %q", got)
+	}
+}
+
+func TestSoundexSim(t *testing.T) {
+	if got := SoundexSim("Robert", "Rupert"); got != 1 {
+		t.Errorf("phonetic twins = %g", got)
+	}
+	if got := SoundexSim("Robert", "Xavier"); got == 1 {
+		t.Errorf("unrelated names = %g, want < 1", got)
+	}
+	if got := SoundexSim("", "Robert"); got != 0 {
+		t.Errorf("empty input = %g", got)
+	}
+	mid := SoundexSim("Robert", "Roberts")
+	if mid <= 0 || mid > 1 {
+		t.Errorf("partial match = %g", mid)
+	}
+}
+
+func TestSoundexProperties(t *testing.T) {
+	prop := func(s string) bool {
+		if len(s) > 64 {
+			s = s[:64]
+		}
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 {
+			return false
+		}
+		if code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for i := 1; i < 4; i++ {
+			if code[i] < '0' || code[i] > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if got := MongeElkan("", "", nil); got != 1 {
+		t.Errorf("both empty = %g", got)
+	}
+	if got := MongeElkan("abc", "", nil); got != 0 {
+		t.Errorf("one empty = %g", got)
+	}
+	if got := MongeElkan("University of Waterloo", "University of Waterloo", nil); got != 1 {
+		t.Errorf("identical = %g", got)
+	}
+	partial := MongeElkan("University of Waterloo", "Waterloo University Campus", nil)
+	if partial < 0.7 || partial >= 1 {
+		t.Errorf("partial overlap = %g, want high but < 1", partial)
+	}
+	low := MongeElkan("alpha beta", "gamma delta", nil)
+	if low > 0.7 {
+		t.Errorf("disjoint = %g, want low", low)
+	}
+}
+
+func TestMongeElkanSymmetric(t *testing.T) {
+	prop := func(a, b string) bool {
+		if len(a) > 48 {
+			a = a[:48]
+		}
+		if len(b) > 48 {
+			b = b[:48]
+		}
+		x := MongeElkan(a, b, nil)
+		y := MongeElkan(b, a, nil)
+		return x >= 0 && x <= 1.000001 && almostEq(x, y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMongeElkanCustomInner(t *testing.T) {
+	exact := func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	got := MongeElkan("a b c", "a b d", exact)
+	// Directed a->b: (1+1+0)/3; b->a same; mean = 2/3.
+	if !almostEq(got, 2.0/3) {
+		t.Errorf("custom inner = %g, want 2/3", got)
+	}
+}

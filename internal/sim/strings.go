@@ -1,0 +1,222 @@
+// Package sim implements the similarity functions ALEX uses to score
+// feature values. All functions return a score in [0, 1], where 1 means
+// identical. The package provides string metrics (Levenshtein, Jaro,
+// Jaro-Winkler, token and trigram Jaccard), numeric and date metrics, and a
+// type-dispatched Generic function that picks a metric from the inferred
+// value types, matching the paper's "generic similarity function that
+// depends on the type of the attributes" (§4.1).
+package sim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns 1 - editDistance/maxLen, a normalized edit similarity.
+func Levenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(prev[lb])/float64(maxLen)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Jaro returns the Jaro similarity between two strings.
+func Jaro(a, b string) float64 {
+	if a == b {
+		if a == "" {
+			return 1
+		}
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 over at most 4 common prefix runes.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Tokenize lowercases s and splits it into alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+}
+
+// TokenJaccard returns the Jaccard similarity of the token sets of a and b.
+func TokenJaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]struct{}, len(ta))
+	for _, t := range ta {
+		set[t] = struct{}{}
+	}
+	inter := 0
+	seen := make(map[string]struct{}, len(tb))
+	for _, t := range tb {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		if _, ok := set[t]; ok {
+			inter++
+		}
+	}
+	union := len(set) + len(seen) - inter
+	return float64(inter) / float64(union)
+}
+
+// Trigrams returns the padded character trigram multiset of s as a set.
+func Trigrams(s string) map[string]struct{} {
+	s = "  " + strings.ToLower(s) + "  "
+	out := make(map[string]struct{})
+	runes := []rune(s)
+	for i := 0; i+3 <= len(runes); i++ {
+		out[string(runes[i:i+3])] = struct{}{}
+	}
+	return out
+}
+
+// TrigramJaccard returns the Jaccard similarity of padded character trigram
+// sets, a metric robust to token reordering and small edits.
+func TrigramJaccard(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ga, gb := Trigrams(a), Trigrams(b)
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}
+
+// StringSim is the default string metric: the maximum of Jaro-Winkler and
+// token Jaccard. Jaro-Winkler captures near-identical surface forms with
+// typos; token Jaccard captures reordered or partially overlapping names
+// ("James, LeBron" vs "LeBron James").
+func StringSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	jw := JaroWinkler(a, b)
+	tj := TokenJaccard(a, b)
+	if tj > jw {
+		return tj
+	}
+	return jw
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

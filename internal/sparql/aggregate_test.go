@@ -1,0 +1,156 @@
+package sparql
+
+import (
+	"testing"
+
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// salesStore builds a store with groupable numeric data.
+func salesStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New("sales", rdf.NewDict())
+	add := func(subj string, region string, amount int64) {
+		iri := rdf.NewIRI("http://x/" + subj)
+		s.Add(rdf.Triple{S: iri, P: rdf.NewIRI("http://x/region"), O: rdf.NewString(region)})
+		s.Add(rdf.Triple{S: iri, P: rdf.NewIRI("http://x/amount"), O: rdf.NewInt(amount)})
+	}
+	add("s1", "north", 10)
+	add("s2", "north", 30)
+	add("s3", "south", 5)
+	add("s4", "south", 7)
+	add("s5", "south", 9)
+	return s
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustParse(t, `SELECT ?r (COUNT(*) AS ?n) (SUM(?a) AS ?total) WHERE {
+		?s <http://x/region> ?r .
+		?s <http://x/amount> ?a .
+	} GROUP BY ?r`)
+	if len(q.Aggregates) != 2 {
+		t.Fatalf("aggregates = %+v", q.Aggregates)
+	}
+	if q.Aggregates[0].Func != "COUNT" || q.Aggregates[0].Var != "" || q.Aggregates[0].As != "n" {
+		t.Errorf("agg 0 = %+v", q.Aggregates[0])
+	}
+	if q.Aggregates[1].Func != "SUM" || q.Aggregates[1].Var != "a" {
+		t.Errorf("agg 1 = %+v", q.Aggregates[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "r" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	bad := []string{
+		`SELECT (FOO(?x) AS ?n) WHERE { ?s ?p ?x }`,
+		`SELECT (SUM(*) AS ?n) WHERE { ?s ?p ?x }`,
+		`SELECT (COUNT(?x) AS 5) WHERE { ?s ?p ?x }`,
+		`SELECT (COUNT(?x)) WHERE { ?s ?p ?x }`,
+		`SELECT ?y (COUNT(?x) AS ?n) WHERE { ?y ?p ?x }`,       // ?y not grouped
+		`SELECT ?y WHERE { ?y ?p ?x } GROUP BY ?y`,             // GROUP BY without aggregate
+		`SELECT (COUNT(?x) AS ?n) WHERE { ?s ?p ?x } GROUP BY`, // empty GROUP BY
+		`SELECT (AVG(DISTINCT) AS ?n) WHERE { ?s ?p ?x }`,      // missing var
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestEvalCountGroupBy(t *testing.T) {
+	s := salesStore(t)
+	res := exec(t, s, `SELECT ?r (COUNT(*) AS ?n) WHERE {
+		?s <http://x/region> ?r .
+	} GROUP BY ?r ORDER BY ?r`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0]["r"].Value != "north" || res.Rows[0]["n"].Value != "2" {
+		t.Errorf("north row = %v", res.Rows[0])
+	}
+	if res.Rows[1]["r"].Value != "south" || res.Rows[1]["n"].Value != "3" {
+		t.Errorf("south row = %v", res.Rows[1])
+	}
+}
+
+func TestEvalSumAvgMinMax(t *testing.T) {
+	s := salesStore(t)
+	res := exec(t, s, `SELECT ?r (SUM(?a) AS ?sum) (AVG(?a) AS ?avg) (MIN(?a) AS ?min) (MAX(?a) AS ?max) WHERE {
+		?s <http://x/region> ?r .
+		?s <http://x/amount> ?a .
+	} GROUP BY ?r ORDER BY ?r`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	north := res.Rows[0]
+	if north["sum"].Value != "40" || north["avg"].Value != "20" ||
+		north["min"].Value != "10" || north["max"].Value != "30" {
+		t.Errorf("north = %v", north)
+	}
+	south := res.Rows[1]
+	if south["sum"].Value != "21" || south["avg"].Value != "7" {
+		t.Errorf("south = %v", south)
+	}
+}
+
+func TestEvalCountNoGroup(t *testing.T) {
+	s := salesStore(t)
+	res := exec(t, s, `SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/amount> ?a }`)
+	if len(res.Rows) != 1 || res.Rows[0]["n"].Value != "5" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Empty match: COUNT over zero rows is 0, not an empty result.
+	res = exec(t, s, `SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/missing> ?a }`)
+	if len(res.Rows) != 1 || res.Rows[0]["n"].Value != "0" {
+		t.Errorf("empty count rows = %v", res.Rows)
+	}
+}
+
+func TestEvalCountDistinct(t *testing.T) {
+	s := salesStore(t)
+	res := exec(t, s, `SELECT (COUNT(DISTINCT ?r) AS ?n) WHERE { ?s <http://x/region> ?r }`)
+	if len(res.Rows) != 1 || res.Rows[0]["n"].Value != "2" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvalAggregateOrderByAlias(t *testing.T) {
+	s := salesStore(t)
+	res := exec(t, s, `SELECT ?r (SUM(?a) AS ?total) WHERE {
+		?s <http://x/region> ?r . ?s <http://x/amount> ?a .
+	} GROUP BY ?r ORDER BY DESC(?total) LIMIT 1`)
+	if len(res.Rows) != 1 || res.Rows[0]["r"].Value != "north" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvalAvgFractional(t *testing.T) {
+	d := rdf.NewDict()
+	s := store.New("x", d)
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/v"), O: rdf.NewInt(1)})
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/b"), P: rdf.NewIRI("http://x/v"), O: rdf.NewInt(2)})
+	res := exec(t, s, `SELECT (AVG(?v) AS ?m) WHERE { ?s <http://x/v> ?v }`)
+	if res.Rows[0]["m"].Value != "1.5" {
+		t.Errorf("avg = %v", res.Rows[0]["m"])
+	}
+}
+
+func TestEvalSumSkipsNonNumeric(t *testing.T) {
+	d := rdf.NewDict()
+	s := store.New("x", d)
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/v"), O: rdf.NewInt(3)})
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/b"), P: rdf.NewIRI("http://x/v"), O: rdf.NewString("junk")})
+	res := exec(t, s, `SELECT (SUM(?v) AS ?m) WHERE { ?s <http://x/v> ?v }`)
+	if res.Rows[0]["m"].Value != "3" {
+		t.Errorf("sum = %v", res.Rows[0]["m"])
+	}
+	// MIN over all-non-numeric input yields the lexical minimum.
+	res = exec(t, s, `SELECT (MIN(?v) AS ?m) WHERE { ?s <http://x/v> ?v }`)
+	if _, ok := res.Rows[0]["m"]; !ok {
+		t.Error("MIN missing")
+	}
+}

@@ -1,0 +1,448 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// Result is the solution sequence of a query: projected variable names and
+// one binding row per solution. Rows omit variables left unbound by
+// OPTIONAL. For CONSTRUCT queries, Triples holds the constructed graph and
+// Vars/Rows are empty.
+type Result struct {
+	Vars    []string
+	Rows    []Binding
+	Triples []rdf.Triple
+}
+
+// Execute parses and evaluates a query over a single store.
+func Execute(st *store.Store, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(st, q)
+}
+
+// Eval evaluates a parsed query over a single store.
+func Eval(st *store.Store, q *Query) (*Result, error) {
+	rows, err := evalPatterns(st, q.Patterns, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	return finalize(q, rows)
+}
+
+// AskResult interprets the result of an ASK query: true when any solution
+// exists.
+func (r *Result) AskResult() bool { return len(r.Rows) > 0 }
+
+// finalize applies ORDER BY, projection, DISTINCT, OFFSET and LIMIT.
+func finalize(q *Query, rows []Binding) (*Result, error) {
+	if q.Ask {
+		if len(rows) > 0 {
+			return &Result{Rows: []Binding{{}}}, nil
+		}
+		return &Result{}, nil
+	}
+	if q.Construct != nil {
+		rows = sliceRows(rows, q.Offset, q.Limit)
+		return &Result{Triples: InstantiateTemplate(q.Construct, rows)}, nil
+	}
+	if len(q.Aggregates) > 0 {
+		grouped, err := aggregateRows(q, rows)
+		if err != nil {
+			return nil, err
+		}
+		rows = grouped
+		res := &Result{Vars: AggregateVars(q)}
+		if len(q.OrderBy) > 0 {
+			sortRows(rows, q.OrderBy)
+		}
+		res.Rows = sliceRows(rows, q.Offset, q.Limit)
+		return res, nil
+	}
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = q.AllVars()
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, q.OrderBy)
+	}
+	projected := make([]Binding, 0, len(rows))
+	for _, row := range rows {
+		pr := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				pr[v] = t
+			}
+		}
+		projected = append(projected, pr)
+	}
+	if q.Distinct {
+		projected = dedupeRows(vars, projected)
+	}
+	projected = sliceRows(projected, q.Offset, q.Limit)
+	return &Result{Vars: vars, Rows: projected}, nil
+}
+
+// InstantiateTemplate substitutes each solution into the template triples,
+// dropping instantiations with unbound variables or ill-formed positions
+// (literal subjects, non-IRI predicates), and deduplicating the output.
+func InstantiateTemplate(template []TriplePattern, rows []Binding) []rdf.Triple {
+	var out []rdf.Triple
+	seen := map[rdf.Triple]struct{}{}
+	resolve := func(n Node, row Binding) (rdf.Term, bool) {
+		if n.IsVar() {
+			t, ok := row[n.Var]
+			return t, ok
+		}
+		return n.Term, true
+	}
+	for _, row := range rows {
+		for _, tp := range template {
+			s, okS := resolve(tp.S, row)
+			p, okP := resolve(tp.P, row)
+			o, okO := resolve(tp.O, row)
+			if !okS || !okP || !okO {
+				continue
+			}
+			if s.IsLiteral() || !p.IsIRI() || o.IsZero() || s.IsZero() {
+				continue
+			}
+			t := rdf.Triple{S: s, P: p, O: o}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sliceRows applies OFFSET then LIMIT.
+func sliceRows(rows []Binding, offset, limit int) []Binding {
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+func sortRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := rows[i][k.Var]
+			b, bok := rows[j][k.Var]
+			if !aok && !bok {
+				continue
+			}
+			// Unbound sorts first.
+			if !aok || !bok {
+				less := !aok
+				if k.Desc {
+					less = !less
+				}
+				return less
+			}
+			c := compareTerms(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// compareTerms orders terms: numeric by value when both numeric, otherwise
+// by kind then lexical value.
+func compareTerms(a, b rdf.Term) int {
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok && looksNumeric(a.Value) && looksNumeric(b.Value) {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	switch {
+	case a.Value < b.Value:
+		return -1
+	case a.Value > b.Value:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func dedupeRows(vars []string, rows []Binding) []Binding {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		k := rowKey(vars, row)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+func rowKey(vars []string, row Binding) string {
+	var b []byte
+	for _, v := range vars {
+		if t, ok := row[v]; ok {
+			b = append(b, t.String()...)
+		}
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// evalPatterns folds each group element over the current solution set.
+func evalPatterns(st *store.Store, patterns []Pattern, in []Binding) ([]Binding, error) {
+	rows := in
+	for _, p := range patterns {
+		var err error
+		switch p := p.(type) {
+		case BGP:
+			rows, err = evalBGP(st, p, rows)
+		case Filter:
+			rows = applyFilter(p.Expr, rows)
+		case Optional:
+			rows, err = evalOptional(st, p, rows)
+		case Union:
+			rows, err = evalUnion(st, p, rows)
+		case Values:
+			rows = evalValues(p, rows)
+		case Exists:
+			rows, err = evalExists(st, p, rows)
+		case PathPattern:
+			rows, err = evalPathPattern(st, p, rows)
+		case Bind:
+			rows = evalBind(p, rows)
+		default:
+			err = fmt.Errorf("sparql: unknown pattern type %T", p)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func applyFilter(expr Expr, rows []Binding) []Binding {
+	out := rows[:0]
+	for _, row := range rows {
+		v, err := evalBool(expr, row)
+		if err == nil && v {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func evalOptional(st *store.Store, opt Optional, rows []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, row := range rows {
+		extended, err := evalPatterns(st, opt.Patterns, []Binding{row})
+		if err != nil {
+			return nil, err
+		}
+		if len(extended) == 0 {
+			out = append(out, row)
+		} else {
+			out = append(out, extended...)
+		}
+	}
+	return out, nil
+}
+
+// evalBind extends each solution with the bound expression value; an
+// evaluation error leaves the variable unbound for that solution, and a
+// BIND onto an already-bound variable filters for equality (a simplified
+// reading of the SPARQL restriction that the variable be fresh).
+func evalBind(bd Bind, rows []Binding) []Binding {
+	out := rows[:0]
+	for _, row := range rows {
+		v, err := bd.Expr.Eval(row)
+		if err != nil {
+			out = append(out, row)
+			continue
+		}
+		if prev, bound := row[bd.As]; bound {
+			if prev == v {
+				out = append(out, row)
+			}
+			continue
+		}
+		nb := row.Clone()
+		nb[bd.As] = v
+		out = append(out, nb)
+	}
+	return out
+}
+
+// evalValues joins the current solutions with the inline data block: a
+// solution survives (per data row) when every VALUES variable is either
+// unbound in the solution or bound to the row's term; unbound variables
+// pick up the row's binding. Zero terms (UNDEF) constrain nothing.
+func evalValues(v Values, rows []Binding) []Binding {
+	var out []Binding
+	for _, row := range rows {
+		for _, data := range v.Rows {
+			nb := row.Clone()
+			ok := true
+			for i, name := range v.Vars {
+				t := data[i]
+				if t.IsZero() {
+					continue
+				}
+				if prev, bound := nb[name]; bound {
+					if prev != t {
+						ok = false
+						break
+					}
+					continue
+				}
+				nb[name] = t
+			}
+			if ok {
+				out = append(out, nb)
+			}
+		}
+	}
+	return out
+}
+
+// evalExists filters rows by the existence (or absence) of a compatible
+// solution of the inner group.
+func evalExists(st *store.Store, e Exists, rows []Binding) ([]Binding, error) {
+	out := rows[:0]
+	for _, row := range rows {
+		matches, err := evalPatterns(st, e.Patterns, []Binding{row.Clone()})
+		if err != nil {
+			return nil, err
+		}
+		if (len(matches) > 0) != e.Not {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func evalUnion(st *store.Store, u Union, rows []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, row := range rows {
+		left, err := evalPatterns(st, u.Left, []Binding{row.Clone()})
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalPatterns(st, u.Right, []Binding{row.Clone()})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, left...)
+		out = append(out, right...)
+	}
+	return out, nil
+}
+
+// evalBGP extends each solution through every triple pattern in order.
+func evalBGP(st *store.Store, bgp BGP, rows []Binding) ([]Binding, error) {
+	for _, tp := range bgp.Triples {
+		var next []Binding
+		for _, row := range rows {
+			matches := MatchPattern(st, tp, row)
+			next = append(next, matches...)
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+	return rows, nil
+}
+
+// MatchPattern returns the extensions of binding through one triple pattern
+// against a store. It is exported for use by the federated executor.
+func MatchPattern(st *store.Store, tp TriplePattern, binding Binding) []Binding {
+	dict := st.Dict()
+	resolve := func(n Node) (rdf.TermID, string, bool) {
+		if n.IsVar() {
+			if t, bound := binding[n.Var]; bound {
+				id, ok := dict.Lookup(t)
+				if !ok {
+					return rdf.NoTerm, "", false
+				}
+				return id, "", true
+			}
+			return rdf.NoTerm, n.Var, true
+		}
+		id, ok := dict.Lookup(n.Term)
+		if !ok {
+			return rdf.NoTerm, "", false
+		}
+		return id, "", true
+	}
+	sID, sVar, ok := resolve(tp.S)
+	if !ok {
+		return nil
+	}
+	pID, pVar, ok := resolve(tp.P)
+	if !ok {
+		return nil
+	}
+	oID, oVar, ok := resolve(tp.O)
+	if !ok {
+		return nil
+	}
+	matched := st.Match(sID, pID, oID)
+	out := make([]Binding, 0, len(matched))
+	for _, t := range matched {
+		nb := binding.Clone()
+		okRow := true
+		bind := func(v string, id rdf.TermID) {
+			if v == "" {
+				return
+			}
+			term := dict.Term(id)
+			if prev, bound := nb[v]; bound {
+				// Same variable twice in one pattern (e.g. ?x ?p ?x).
+				if prev != term {
+					okRow = false
+				}
+				return
+			}
+			nb[v] = term
+		}
+		bind(sVar, t.S)
+		bind(pVar, t.P)
+		bind(oVar, t.O)
+		if okRow {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"alex/internal/rdf"
+)
+
+// Expr is a FILTER expression. Eval returns the effective boolean value of
+// the expression under a binding; evaluation errors (unbound variables,
+// type mismatches) make the filter reject the binding, per SPARQL
+// error-as-false semantics for FILTER.
+type Expr interface {
+	Eval(b Binding) (rdf.Term, error)
+	String() string
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]rdf.Term
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+var (
+	termTrue  = rdf.NewTyped("true", rdf.XSDBoolean)
+	termFalse = rdf.NewTyped("false", rdf.XSDBoolean)
+)
+
+func boolTerm(v bool) rdf.Term {
+	if v {
+		return termTrue
+	}
+	return termFalse
+}
+
+// EBV returns the effective boolean value of a term.
+func EBV(t rdf.Term) (bool, error) {
+	if t.Kind == rdf.KindLiteral {
+		if t.Datatype == rdf.XSDBoolean {
+			return t.Value == "true" || t.Value == "1", nil
+		}
+		if f, ok := t.AsFloat(); ok && (t.Datatype == rdf.XSDInteger || t.Datatype == rdf.XSDDouble || t.Datatype == "") {
+			if _, isNum := t.AsFloat(); isNum && looksNumeric(t.Value) {
+				return f != 0, nil
+			}
+		}
+		return t.Value != "", nil
+	}
+	return false, fmt.Errorf("no effective boolean value for %s", t)
+}
+
+func looksNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		if c >= '0' && c <= '9' || c == '.' {
+			continue
+		}
+		if i == 0 && (c == '-' || c == '+') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// Eval returns the bound term or an error when unbound.
+func (e VarExpr) Eval(b Binding) (rdf.Term, error) {
+	t, ok := b[e.Name]
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("unbound variable ?%s", e.Name)
+	}
+	return t, nil
+}
+
+func (e VarExpr) String() string { return "?" + e.Name }
+
+// ConstExpr is a constant term.
+type ConstExpr struct{ Term rdf.Term }
+
+// Eval returns the constant.
+func (e ConstExpr) Eval(Binding) (rdf.Term, error) { return e.Term, nil }
+
+func (e ConstExpr) String() string { return e.Term.String() }
+
+// CmpExpr is a binary comparison: = != < > <= >=.
+type CmpExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// Eval compares numerically when both sides are numeric, otherwise by
+// string value (with full term equality for = / !=).
+func (e CmpExpr) Eval(b Binding) (rdf.Term, error) {
+	l, err := e.Left.Eval(b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := e.Right.Eval(b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch e.Op {
+	case "=":
+		return boolTerm(termsEqual(l, r)), nil
+	case "!=":
+		return boolTerm(!termsEqual(l, r)), nil
+	}
+	// Ordering comparisons.
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	var cmp int
+	if lok && rok {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(l.Value, r.Value)
+	}
+	switch e.Op {
+	case "<":
+		return boolTerm(cmp < 0), nil
+	case ">":
+		return boolTerm(cmp > 0), nil
+	case "<=":
+		return boolTerm(cmp <= 0), nil
+	case ">=":
+		return boolTerm(cmp >= 0), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("unknown comparison %q", e.Op)
+	}
+}
+
+func (e CmpExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// termsEqual implements SPARQL value equality: numeric literals compare by
+// value, everything else by exact term identity.
+func termsEqual(l, r rdf.Term) bool {
+	if l == r {
+		return true
+	}
+	if l.Kind == rdf.KindLiteral && r.Kind == rdf.KindLiteral {
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if lok && rok && looksNumeric(l.Value) && looksNumeric(r.Value) {
+			return lf == rf
+		}
+		// Plain vs xsd:string literals are the same value.
+		if l.Lang == r.Lang && l.Value == r.Value {
+			ld, rd := l.Datatype, r.Datatype
+			if ld == rdf.XSDString {
+				ld = ""
+			}
+			if rd == rdf.XSDString {
+				rd = ""
+			}
+			return ld == rd
+		}
+	}
+	return false
+}
+
+// ArithExpr is a binary arithmetic expression over numeric literals.
+type ArithExpr struct {
+	Op          byte // '+', '-', '*', '/'
+	Left, Right Expr
+}
+
+// Eval evaluates both sides as numbers; non-numeric operands or division by
+// zero are evaluation errors (error-as-false in FILTER, unbound in BIND).
+func (e ArithExpr) Eval(b Binding) (rdf.Term, error) {
+	l, err := e.Left.Eval(b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := e.Right.Eval(b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok || !looksNumeric(l.Value) || !looksNumeric(r.Value) {
+		return rdf.Term{}, fmt.Errorf("non-numeric operand for %c", e.Op)
+	}
+	var v float64
+	switch e.Op {
+	case '+':
+		v = lf + rf
+	case '-':
+		v = lf - rf
+	case '*':
+		v = lf * rf
+	case '/':
+		if rf == 0 {
+			return rdf.Term{}, fmt.Errorf("division by zero")
+		}
+		v = lf / rf
+	default:
+		return rdf.Term{}, fmt.Errorf("unknown arithmetic op %c", e.Op)
+	}
+	if v == float64(int64(v)) {
+		return rdf.NewInt(int64(v)), nil
+	}
+	return rdf.NewTyped(strconv.FormatFloat(v, 'g', -1, 64), rdf.XSDDouble), nil
+}
+
+func (e ArithExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", e.Left, e.Op, e.Right)
+}
+
+// LogicExpr is && or ||.
+type LogicExpr struct {
+	Op          string // "&&" or "||"
+	Left, Right Expr
+}
+
+// Eval applies SPARQL's error-tolerant boolean logic: for ||, a true side
+// wins even if the other errors; for &&, a false side wins likewise.
+func (e LogicExpr) Eval(b Binding) (rdf.Term, error) {
+	lv, lerr := evalBool(e.Left, b)
+	rv, rerr := evalBool(e.Right, b)
+	switch e.Op {
+	case "&&":
+		if lerr == nil && !lv || rerr == nil && !rv {
+			return termFalse, nil
+		}
+		if lerr != nil {
+			return rdf.Term{}, lerr
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return boolTerm(lv && rv), nil
+	case "||":
+		if lerr == nil && lv || rerr == nil && rv {
+			return termTrue, nil
+		}
+		if lerr != nil {
+			return rdf.Term{}, lerr
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return boolTerm(lv || rv), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("unknown logic op %q", e.Op)
+	}
+}
+
+func (e LogicExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+func evalBool(e Expr, b Binding) (bool, error) {
+	t, err := e.Eval(b)
+	if err != nil {
+		return false, err
+	}
+	return EBV(t)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ Inner Expr }
+
+// Eval negates the effective boolean value of the inner expression.
+func (e NotExpr) Eval(b Binding) (rdf.Term, error) {
+	v, err := evalBool(e.Inner, b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return boolTerm(!v), nil
+}
+
+func (e NotExpr) String() string { return "!" + e.Inner.String() }
+
+// CallExpr is a builtin function call. Supported: REGEX, CONTAINS, STR,
+// LANG, BOUND, ISIRI, ISLITERAL, STRSTARTS.
+type CallExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+// Eval dispatches on the builtin name.
+func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
+	if e.Name == "BOUND" {
+		if len(e.Args) != 1 {
+			return rdf.Term{}, fmt.Errorf("BOUND takes 1 argument")
+		}
+		v, ok := e.Args[0].(VarExpr)
+		if !ok {
+			return rdf.Term{}, fmt.Errorf("BOUND requires a variable")
+		}
+		_, bound := b[v.Name]
+		return boolTerm(bound), nil
+	}
+	args := make([]rdf.Term, len(e.Args))
+	for i, a := range e.Args {
+		t, err := a.Eval(b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		args[i] = t
+	}
+	switch e.Name {
+	case "REGEX":
+		if len(args) < 2 {
+			return rdf.Term{}, fmt.Errorf("REGEX takes 2 or 3 arguments")
+		}
+		pat := args[1].Value
+		if len(args) == 3 && strings.Contains(args[2].Value, "i") {
+			pat = "(?i)" + pat
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("REGEX: %v", err)
+		}
+		return boolTerm(re.MatchString(args[0].Value)), nil
+	case "CONTAINS":
+		if len(args) != 2 {
+			return rdf.Term{}, fmt.Errorf("CONTAINS takes 2 arguments")
+		}
+		return boolTerm(strings.Contains(args[0].Value, args[1].Value)), nil
+	case "STRSTARTS":
+		if len(args) != 2 {
+			return rdf.Term{}, fmt.Errorf("STRSTARTS takes 2 arguments")
+		}
+		return boolTerm(strings.HasPrefix(args[0].Value, args[1].Value)), nil
+	case "STR":
+		if len(args) != 1 {
+			return rdf.Term{}, fmt.Errorf("STR takes 1 argument")
+		}
+		return rdf.NewString(args[0].Value), nil
+	case "LANG":
+		if len(args) != 1 {
+			return rdf.Term{}, fmt.Errorf("LANG takes 1 argument")
+		}
+		return rdf.NewString(args[0].Lang), nil
+	case "ISIRI", "ISURI":
+		if len(args) != 1 {
+			return rdf.Term{}, fmt.Errorf("%s takes 1 argument", e.Name)
+		}
+		return boolTerm(args[0].IsIRI()), nil
+	case "ISLITERAL":
+		if len(args) != 1 {
+			return rdf.Term{}, fmt.Errorf("ISLITERAL takes 1 argument")
+		}
+		return boolTerm(args[0].IsLiteral()), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("unknown function %s", e.Name)
+	}
+}
+
+func (e CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,21 @@
+package sparql
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o }`,
+		`SELECT DISTINCT ?s ?o WHERE { ?s <http://x/p> ?o . FILTER(?o > 5 && REGEX(?o, "x")) } ORDER BY DESC(?s) LIMIT 3 OFFSET 1`,
+		`ASK { ?s a <http://x/T> }`,
+		`PREFIX ex: <http://x/> SELECT * WHERE { ex:a ex:p ?v ; ex:q "s"@en, "5"^^xsd:integer }`,
+		`SELECT ?g (COUNT(*) AS ?n) (AVG(?v) AS ?m) WHERE { ?s ?p ?v } GROUP BY ?g`,
+		`SELECT * WHERE { { ?a ?b ?c } UNION { ?d ?e ?f } OPTIONAL { ?a ?p ?q } VALUES ?a { <http://x> UNDEF } FILTER NOT EXISTS { ?a ?x ?y } }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		// The parser must never panic on arbitrary input.
+		_, _ = Parse(in)
+	})
+}

@@ -1,0 +1,326 @@
+// Package sparql implements a SPARQL 1.1 subset sufficient for the
+// federated linked-data queries ALEX is evaluated on: SELECT (DISTINCT,
+// projection, aggregates with GROUP BY), ASK, CONSTRUCT, basic graph
+// patterns, property paths (^, /, |, ?, +, *), FILTER expressions with
+// arithmetic and [NOT] EXISTS, BIND, OPTIONAL, UNION, VALUES, PREFIX
+// declarations, ORDER BY, LIMIT and OFFSET.
+//
+// The package is deliberately self-contained: a hand-written lexer and
+// recursive-descent parser produce a small algebra that internal/fed
+// decomposes and executes across sources.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar     // ?name
+	tokIRI     // <...>
+	tokPName   // prefix:local
+	tokString  // "..."
+	tokNumber  // 123 or 1.5
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokDot     // .
+	tokSemi    // ;
+	tokComma   // ,
+	tokStar    // *
+	tokOp      // comparison / logical operators
+	tokA       // the keyword 'a' (rdf:type)
+	tokLangTag // @en
+	tokDTSep   // ^^
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a query syntax error with byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.in[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case ';':
+		l.pos++
+		return token{tokSemi, ";", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '/':
+		l.pos++
+		return token{tokOp, "/", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '?', '$':
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.in) && isIdentRune(rune(l.in[l.pos])) {
+			l.pos++
+		}
+		if l.pos == s {
+			if c == '?' {
+				// Bare '?' is the zero-or-one path modifier.
+				return token{tokOp, "?", start}, nil
+			}
+			return token{}, l.errf(start, "empty variable name")
+		}
+		return token{tokVar, l.in[s:l.pos], start}, nil
+	case '<':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "<=", start}, nil
+		}
+		end := strings.IndexByte(l.in[l.pos:], '>')
+		// Disambiguate IRI from '<' operator: an IRI cannot contain spaces.
+		if end > 0 && !strings.ContainsAny(l.in[l.pos:l.pos+end], " \t\n") {
+			iri := l.in[l.pos+1 : l.pos+end]
+			l.pos += end + 1
+			return token{tokIRI, iri, start}, nil
+		}
+		l.pos++
+		return token{tokOp, "<", start}, nil
+	case '>':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokOp, ">", start}, nil
+	case '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case '!':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		l.pos++
+		return token{tokOp, "!", start}, nil
+	case '&':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '&' {
+			l.pos += 2
+			return token{tokOp, "&&", start}, nil
+		}
+		return token{}, l.errf(start, "expected &&")
+	case '|':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '|' {
+			l.pos += 2
+			return token{tokOp, "||", start}, nil
+		}
+		// Single '|' is the path-alternative operator.
+		l.pos++
+		return token{tokOp, "|", start}, nil
+	case '@':
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.in) && (isIdentRune(rune(l.in[l.pos]))) {
+			l.pos++
+		}
+		if l.pos == s {
+			return token{}, l.errf(start, "empty language tag")
+		}
+		return token{tokLangTag, l.in[s:l.pos], start}, nil
+	case '^':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '^' {
+			l.pos += 2
+			return token{tokDTSep, "^^", start}, nil
+		}
+		// Single '^' is the inverse-path operator.
+		l.pos++
+		return token{tokOp, "^", start}, nil
+	case '"':
+		return l.stringLit()
+	}
+	if c >= '0' && c <= '9' {
+		return l.number()
+	}
+	if c == '-' {
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+			return l.number()
+		}
+		// Bare '-' is the arithmetic subtraction operator.
+		l.pos++
+		return token{tokOp, "-", start}, nil
+	}
+	if c == '+' {
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+			return l.number()
+		}
+		// Bare '+' is the one-or-more path modifier.
+		l.pos++
+		return token{tokOp, "+", start}, nil
+	}
+	r := rune(c)
+	if isIdentStart(r) {
+		s := l.pos
+		for l.pos < len(l.in) && isIdentRune(rune(l.in[l.pos])) {
+			l.pos++
+		}
+		word := l.in[s:l.pos]
+		// prefixed name?
+		if l.pos < len(l.in) && l.in[l.pos] == ':' {
+			l.pos++
+			ls := l.pos
+			for l.pos < len(l.in) && (isIdentRune(rune(l.in[l.pos])) || l.in[l.pos] == '.') {
+				l.pos++
+			}
+			return token{tokPName, word + ":" + l.in[ls:l.pos], start}, nil
+		}
+		if word == "a" {
+			return token{tokA, "a", start}, nil
+		}
+		return token{tokIdent, word, start}, nil
+	}
+	if c == ':' { // default-prefix name
+		l.pos++
+		ls := l.pos
+		for l.pos < len(l.in) && (isIdentRune(rune(l.in[l.pos])) || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		return token{tokPName, ":" + l.in[ls:l.pos], start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) stringLit() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.in) {
+			return token{}, l.errf(start, "unterminated string")
+		}
+		c := l.in[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.in) {
+				return token{}, l.errf(start, "dangling escape")
+			}
+			switch l.in[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return token{}, l.errf(l.pos, "unknown escape \\%c", l.in[l.pos])
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	if l.in[l.pos] == '-' || l.in[l.pos] == '+' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.in) && l.in[l.pos] == '.' {
+		// Lookahead: "1." followed by non-digit is number then dot token.
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+			l.pos++
+			for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errf(start, "malformed number")
+	}
+	return token{tokNumber, l.in[start:l.pos], start}, nil
+}

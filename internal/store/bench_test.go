@@ -1,0 +1,76 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+// buildBench populates a store with n subjects × 6 attributes.
+func buildBench(n int) (*Store, []rdf.TermID) {
+	dict := rdf.NewDict()
+	s := New("bench", dict)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://x/e%d", i))
+		s.Add(rdf.Triple{S: subj, P: rdf.NewIRI("http://x/name"), O: rdf.NewString(fmt.Sprintf("name %d", i))})
+		s.Add(rdf.Triple{S: subj, P: rdf.NewIRI("http://x/value"), O: rdf.NewInt(int64(rng.Intn(1000)))})
+		s.Add(rdf.Triple{S: subj, P: rdf.NewIRI("http://x/group"), O: rdf.NewString(fmt.Sprintf("g%d", i%20))})
+		s.Add(rdf.Triple{S: subj, P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("http://x/T")})
+	}
+	return s, s.Subjects()
+}
+
+// BenchmarkMatchIndexed measures the hash-indexed subject lookup — the
+// design DESIGN.md commits to.
+func BenchmarkMatchIndexed(b *testing.B) {
+	s, subjects := buildBench(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Match(subjects[i%len(subjects)], rdf.NoTerm, rdf.NoTerm)
+	}
+}
+
+// BenchmarkMatchScan is the ablation: the same lookup implemented as a full
+// scan over Match(?, ?, ?), as a store without indexes would do.
+func BenchmarkMatchScan(b *testing.B) {
+	s, subjects := buildBench(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		want := subjects[i%len(subjects)]
+		n := 0
+		for _, t := range s.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) {
+			if t.S == want {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("scan found nothing")
+		}
+	}
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	dict := rdf.NewDict()
+	s := New("add", dict)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/e%d", i)),
+			P: rdf.NewIRI("http://x/p"),
+			O: rdf.NewInt(int64(i)),
+		})
+	}
+}
+
+func BenchmarkEntityView(b *testing.B) {
+	s, subjects := buildBench(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Entity(subjects[i%len(subjects)]); !ok {
+			b.Fatal("entity missing")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"alex/internal/rdf"
+)
+
+// snapshot is the on-disk representation of a store: the materialized
+// triples in insertion order. Terms are serialized by value rather than by
+// id, so a snapshot can be restored into any dictionary (ids are
+// re-interned on load).
+type snapshot struct {
+	Name    string
+	Triples []rdf.Triple
+}
+
+// WriteSnapshot serializes the store to w in a binary (gob) format. The
+// snapshot is self-contained: it embeds term values, not dictionary ids.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Name: s.name, Triples: make([]rdf.Triple, len(s.triples))}
+	for i, t := range s.triples {
+		snap.Triples[i] = s.dict.Materialize(t)
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("store: writing snapshot of %s: %w", s.name, err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores a store previously written with WriteSnapshot,
+// interning its terms into dict.
+func ReadSnapshot(r io.Reader, dict *rdf.Dict) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	s := New(snap.Name, dict)
+	for _, t := range snap.Triples {
+		s.Add(t)
+	}
+	return s, nil
+}

@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New("ds", rdf.NewDict())
+	src.Add(tri("a", "p", "1"))
+	src.Add(tri("a", "q", "2"))
+	src.Add(triIRI("b", "p", "c"))
+	src.Add(rdf.Triple{S: rdf.NewIRI("http://x/d"), P: rdf.NewIRI("http://x/p"), O: rdf.NewLangString("héllo", "fr")})
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a completely fresh dictionary.
+	restored, err := ReadSnapshot(&buf, rdf.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != "ds" {
+		t.Errorf("Name = %q", restored.Name())
+	}
+	if restored.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", restored.Len(), src.Len())
+	}
+	for _, tr := range src.MatchTerms(rdf.Term{}, rdf.Term{}, rdf.Term{}) {
+		if !restored.Contains(tr) {
+			t.Errorf("restored store missing %v", tr)
+		}
+	}
+	// Insertion order (and thus Subjects order) is preserved.
+	wantSubjects := src.Subjects()
+	gotSubjects := restored.Subjects()
+	if len(wantSubjects) != len(gotSubjects) {
+		t.Fatalf("subject count %d vs %d", len(gotSubjects), len(wantSubjects))
+	}
+	for i := range wantSubjects {
+		w := src.Dict().Term(wantSubjects[i])
+		g := restored.Dict().Term(gotSubjects[i])
+		if w != g {
+			t.Errorf("subject %d: %v vs %v", i, g, w)
+		}
+	}
+}
+
+func TestSnapshotSharedDict(t *testing.T) {
+	dict := rdf.NewDict()
+	src := New("a", dict)
+	src.Add(tri("s", "p", "v"))
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring into the SAME dict reuses interned ids.
+	restored, err := ReadSnapshot(&buf, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sID, _ := dict.Lookup(rdf.NewIRI("http://x/s"))
+	if _, ok := restored.Entity(sID); !ok {
+		t.Error("restored store does not share ids with the dictionary")
+	}
+}
+
+func TestSnapshotCorruptInput(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a gob stream"), rdf.NewDict()); err == nil {
+		t.Error("corrupt snapshot decoded without error")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New("empty", rdf.NewDict()).WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, rdf.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 || restored.Name() != "empty" {
+		t.Errorf("restored = %v", restored.Stats())
+	}
+}

@@ -1,0 +1,294 @@
+// Package store implements an in-memory indexed RDF triple store.
+//
+// A Store holds triples over a shared rdf.Dict and maintains three hash
+// indexes (by subject, by predicate, by object) so that any triple pattern
+// with at least one bound position is answered without a full scan. The
+// store also exposes an Entity view — the set of (predicate, object)
+// attributes of one subject — which is the unit ALEX builds feature sets
+// from, and per-predicate statistics used by the PARIS baseline.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"alex/internal/rdf"
+)
+
+// Store is an in-memory triple store. All mutation goes through Add; reads
+// are safe for concurrent use with other reads. Concurrent mutation must be
+// externally synchronized with reads (the linking pipeline loads stores
+// fully before querying them).
+type Store struct {
+	name string
+	dict *rdf.Dict
+
+	mu      sync.RWMutex
+	triples []rdf.TripleID
+	present map[rdf.TripleID]struct{}
+	bySubj  map[rdf.TermID][]int32 // positions in triples
+	byPred  map[rdf.TermID][]int32
+	byObj   map[rdf.TermID][]int32
+	// subjects in insertion order, for deterministic iteration
+	subjects []rdf.TermID
+}
+
+// New returns an empty store named name over dict. The name identifies the
+// data set in federated queries and diagnostics.
+func New(name string, dict *rdf.Dict) *Store {
+	return &Store{
+		name:    name,
+		dict:    dict,
+		present: make(map[rdf.TripleID]struct{}),
+		bySubj:  make(map[rdf.TermID][]int32),
+		byPred:  make(map[rdf.TermID][]int32),
+		byObj:   make(map[rdf.TermID][]int32),
+	}
+}
+
+// Name returns the data-set name.
+func (s *Store) Name() string { return s.name }
+
+// Dict returns the term dictionary shared by this store.
+func (s *Store) Dict() *rdf.Dict { return s.dict }
+
+// Add interns and inserts a triple. Duplicate triples are ignored; the
+// return reports whether the triple was newly added.
+func (s *Store) Add(t rdf.Triple) bool {
+	return s.AddID(rdf.TripleID{
+		S: s.dict.Intern(t.S),
+		P: s.dict.Intern(t.P),
+		O: s.dict.Intern(t.O),
+	})
+}
+
+// AddID inserts a pre-interned triple. Duplicates are ignored.
+func (s *Store) AddID(t rdf.TripleID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.present[t]; dup {
+		return false
+	}
+	pos := int32(len(s.triples))
+	s.triples = append(s.triples, t)
+	s.present[t] = struct{}{}
+	if _, seen := s.bySubj[t.S]; !seen {
+		s.subjects = append(s.subjects, t.S)
+	}
+	s.bySubj[t.S] = append(s.bySubj[t.S], pos)
+	s.byPred[t.P] = append(s.byPred[t.P], pos)
+	s.byObj[t.O] = append(s.byObj[t.O], pos)
+	return true
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.triples)
+}
+
+// Contains reports whether the exact triple is present.
+func (s *Store) Contains(t rdf.Triple) bool {
+	sID, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	pID, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oID, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, found := s.present[rdf.TripleID{S: sID, P: pID, O: oID}]
+	return found
+}
+
+// Match returns all triples matching the pattern, where rdf.NoTerm in a
+// position acts as a wildcard. The result is in insertion order.
+func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var candidates []int32
+	switch {
+	case subj != rdf.NoTerm:
+		candidates = s.bySubj[subj]
+	case obj != rdf.NoTerm:
+		candidates = s.byObj[obj]
+	case pred != rdf.NoTerm:
+		candidates = s.byPred[pred]
+	default:
+		out := make([]rdf.TripleID, len(s.triples))
+		copy(out, s.triples)
+		return out
+	}
+	var out []rdf.TripleID
+	for _, pos := range candidates {
+		t := s.triples[pos]
+		if subj != rdf.NoTerm && t.S != subj {
+			continue
+		}
+		if pred != rdf.NoTerm && t.P != pred {
+			continue
+		}
+		if obj != rdf.NoTerm && t.O != obj {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// MatchTerms is Match over materialized terms; zero Terms are wildcards.
+func (s *Store) MatchTerms(subj, pred, obj rdf.Term) []rdf.Triple {
+	lookup := func(t rdf.Term) (rdf.TermID, bool) {
+		if t.IsZero() {
+			return rdf.NoTerm, true
+		}
+		return s.dict.Lookup(t)
+	}
+	sID, ok := lookup(subj)
+	if !ok {
+		return nil
+	}
+	pID, ok := lookup(pred)
+	if !ok {
+		return nil
+	}
+	oID, ok := lookup(obj)
+	if !ok {
+		return nil
+	}
+	ids := s.Match(sID, pID, oID)
+	out := make([]rdf.Triple, len(ids))
+	for i, id := range ids {
+		out[i] = s.dict.Materialize(id)
+	}
+	return out
+}
+
+// Subjects returns the distinct subjects in first-insertion order.
+func (s *Store) Subjects() []rdf.TermID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rdf.TermID, len(s.subjects))
+	copy(out, s.subjects)
+	return out
+}
+
+// Predicates returns the distinct predicates, sorted by id for determinism.
+func (s *Store) Predicates() []rdf.TermID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rdf.TermID, 0, len(s.byPred))
+	for p := range s.byPred {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasPredicate reports whether any triple uses the predicate. Federated
+// source selection uses this as its ASK probe.
+func (s *Store) HasPredicate(p rdf.TermID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byPred[p]) > 0
+}
+
+// PredicateCount returns the number of triples using the predicate.
+func (s *Store) PredicateCount(p rdf.TermID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byPred[p])
+}
+
+// Entity is the attribute view of one subject: parallel slices of predicate
+// and object ids, in insertion order.
+type Entity struct {
+	Subject rdf.TermID
+	Preds   []rdf.TermID
+	Objs    []rdf.TermID
+}
+
+// Len returns the number of attributes.
+func (e Entity) Len() int { return len(e.Preds) }
+
+// Entity returns the attribute view for a subject. The second return is
+// false when the subject has no triples.
+func (s *Store) Entity(subj rdf.TermID) (Entity, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	positions := s.bySubj[subj]
+	if len(positions) == 0 {
+		return Entity{}, false
+	}
+	e := Entity{
+		Subject: subj,
+		Preds:   make([]rdf.TermID, len(positions)),
+		Objs:    make([]rdf.TermID, len(positions)),
+	}
+	for i, pos := range positions {
+		t := s.triples[pos]
+		e.Preds[i] = t.P
+		e.Objs[i] = t.O
+	}
+	return e, true
+}
+
+// Stats summarizes a store for Table 1-style reporting.
+type Stats struct {
+	Name       string
+	Triples    int
+	Subjects   int
+	Predicates int
+}
+
+// Stats returns summary statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Name:       s.name,
+		Triples:    len(s.triples),
+		Subjects:   len(s.subjects),
+		Predicates: len(s.byPred),
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (st Stats) String() string {
+	return fmt.Sprintf("%s: %d triples, %d subjects, %d predicates",
+		st.Name, st.Triples, st.Subjects, st.Predicates)
+}
+
+// Load reads every triple from triples into the store.
+func (s *Store) Load(triples []rdf.Triple) {
+	for _, t := range triples {
+		s.Add(t)
+	}
+}
+
+// Functionality returns the functionality of a predicate: the ratio of
+// distinct subjects to triples for that predicate, in (0, 1]. A predicate
+// with functionality 1 has at most one value per subject (like birthDate);
+// low-functionality predicates (like rdf:type) are weak linking evidence.
+// PARIS weighs evidence by functionality.
+func (s *Store) Functionality(p rdf.TermID) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	positions := s.byPred[p]
+	if len(positions) == 0 {
+		return 0
+	}
+	distinct := make(map[rdf.TermID]struct{}, len(positions))
+	for _, pos := range positions {
+		distinct[s.triples[pos].S] = struct{}{}
+	}
+	return float64(len(distinct)) / float64(len(positions))
+}
