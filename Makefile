@@ -1,0 +1,26 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/fed/... ./internal/obs/... ./internal/store/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race

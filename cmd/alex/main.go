@@ -9,15 +9,22 @@
 //	alex -list
 //	alex -exp fig2a
 //	alex -exp all -scale 0.5 -seed 7
+//	alex -exp fig2a -trace
+//
+// With -trace, engine metrics (feedback counts, explorations, rollbacks,
+// ε-greedy pick split, episode latency quantiles) and the span trees of
+// the most recent episodes are printed to stderr after the experiment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"alex/internal/experiment"
+	"alex/internal/obs"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 		scale  = flag.Float64("scale", 1, "data-set size multiplier")
 		seed   = flag.Int64("seed", 42, "random seed")
 		svgDir = flag.String("svg", "", "also render the experiment's figure(s) as SVG into this directory")
+		trace  = flag.Bool("trace", false, "print engine metrics and recent episode span trees to stderr")
 	)
 	flag.Parse()
 
@@ -44,6 +52,10 @@ func main() {
 	}
 
 	opt := experiment.Options{Scale: *scale, Seed: *seed}
+	if *trace {
+		opt.Obs = obs.NewRegistry()
+		defer printObservations(opt.Obs)
+	}
 	if *exp == "all" {
 		if err := experiment.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "alex:", err)
@@ -67,6 +79,23 @@ func main() {
 	}
 	if *svgDir != "" {
 		renderSVG(*exp, opt, *svgDir)
+	}
+}
+
+// printObservations dumps the metrics snapshot and the retained episode
+// span trees after a traced run.
+func printObservations(reg *obs.Registry) {
+	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "\nmetrics:\n%s\n", raw)
+	}
+	traces := reg.Traces()
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nlast %d episode traces:\n", len(traces))
+	for _, tr := range traces {
+		fmt.Fprintln(os.Stderr, tr.String())
 	}
 }
 

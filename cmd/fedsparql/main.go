@@ -8,11 +8,15 @@
 //	fedsparql -data dbpedia.nt -data nytimes.nt -links truth.nt \
 //	    -query 'SELECT ?s WHERE { ?s ?p ?o } LIMIT 5'
 //
-// With no -query, queries are read from stdin, one per line.
+// With no -query, queries are read from stdin, one per line. With -trace,
+// each query's execution span tree (per-pattern timings, source names,
+// join cardinalities, sameAs rewrites) is printed to stderr, followed by
+// a JSON metrics snapshot on exit.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"alex/internal/endpoint"
 	"alex/internal/fed"
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/store"
 )
@@ -37,6 +42,7 @@ func main() {
 	flag.Var(&remotes, "remote", "remote SPARQL endpoint URL, e.g. http://host:8181/sparql (repeatable; see cmd/sparqld)")
 	linksFile := flag.String("links", "", "owl:sameAs N-Triples link file")
 	query := flag.String("query", "", "SPARQL query (default: read from stdin)")
+	trace := flag.Bool("trace", false, "print each query's execution span tree and a final metrics snapshot to stderr")
 	flag.Parse()
 
 	if len(dataFiles) == 0 && len(remotes) == 0 {
@@ -68,8 +74,15 @@ func main() {
 		federation.SetLinks(links)
 	}
 
+	var reg *obs.Registry
+	if *trace {
+		reg = obs.NewRegistry()
+		federation.SetObserver(reg)
+		defer printMetrics(reg)
+	}
+
 	if *query != "" {
-		if err := runQuery(federation, *query); err != nil {
+		if err := runQuery(federation, *query, *trace); err != nil {
 			fatal(err)
 		}
 		return
@@ -81,10 +94,19 @@ func main() {
 		if q == "" {
 			continue
 		}
-		if err := runQuery(federation, q); err != nil {
+		if err := runQuery(federation, q, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "fedsparql:", err)
 		}
 	}
+}
+
+// printMetrics dumps the final metrics snapshot as indented JSON.
+func printMetrics(reg *obs.Registry) {
+	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "metrics:\n%s\n", raw)
 }
 
 func loadStore(dict *rdf.Dict, path string) (*store.Store, error) {
@@ -128,8 +150,18 @@ func loadLinks(dict *rdf.Dict, path string) (*linkset.Set, error) {
 	return links, nil
 }
 
-func runQuery(federation *fed.Federation, query string) error {
-	res, err := federation.Execute(query)
+func runQuery(federation *fed.Federation, query string, trace bool) error {
+	var res *fed.Result
+	var err error
+	if trace {
+		var tr *obs.Trace
+		res, tr, err = federation.ExecuteTrace(query)
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, tr.String())
+		}
+	} else {
+		res, err = federation.Execute(query)
+	}
 	if err != nil {
 		return err
 	}

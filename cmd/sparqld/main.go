@@ -10,6 +10,8 @@
 //	sparqld -data dbpedia.nt -data nytimes.nt -links truth.nt -addr :8282
 //	curl 'http://localhost:8181/sparql?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+3'
 //	curl  http://localhost:8181/stats
+//	curl  http://localhost:8181/metrics
+//	curl 'http://localhost:8181/debug/trace?query=SELECT+?s+WHERE+{?s+?p+?o}+LIMIT+3'
 //
 // Turtle files (.ttl) are detected by extension. The server speaks the
 // SPARQL 1.1 protocol subset implemented in internal/endpoint: SELECT, ASK
@@ -27,6 +29,7 @@ import (
 	"alex/internal/endpoint"
 	"alex/internal/fed"
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/store"
 )
@@ -48,6 +51,7 @@ func main() {
 	}
 
 	dict := rdf.NewDict()
+	reg := obs.NewRegistry()
 	var stores []*store.Store
 	for _, path := range dataFiles {
 		st, err := load(dict, path)
@@ -55,11 +59,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sparqld:", err)
 			os.Exit(1)
 		}
+		st.SetObserver(reg)
 		fmt.Fprintf(os.Stderr, "loaded %s\n", st.Stats())
 		stores = append(stores, st)
 	}
 
-	var handler http.Handler
+	var handler *endpoint.Handler
 	if len(stores) == 1 && *linksFile == "" {
 		handler = endpoint.NewHandler(stores[0])
 	} else {
@@ -73,6 +78,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loaded %d sameAs links\n", links.Len())
 			federation.SetLinks(links)
 		}
+		federation.SetObserver(reg)
 		handler = endpoint.NewQueryHandler(fed.EndpointQueryFunc(federation), func() map[string]any {
 			out := map[string]any{"sources": len(stores), "links": federation.Links().Len()}
 			for _, st := range stores {
@@ -80,8 +86,10 @@ func main() {
 			}
 			return out
 		})
+		handler.SetTraceFunc(fed.EndpointTraceFunc(federation))
 		fmt.Fprintf(os.Stderr, "serving a federation of %d sources\n", len(stores))
 	}
+	handler.SetObserver(reg)
 	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)

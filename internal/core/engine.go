@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"alex/internal/feature"
 	"alex/internal/feedback"
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/store"
 )
@@ -21,6 +23,23 @@ type Engine struct {
 	// subjectPartition routes a ds1 subject to its owning partition.
 	subjectPartition map[rdf.TermID]int
 	episode          int
+
+	// Observability. obsReg gates the clock reads and per-episode trace;
+	// the instruments themselves are nil-safe no-ops when unset.
+	obsReg      *obs.Registry
+	hEpisodeNS  *obs.Histogram
+	gCandidates *obs.Gauge
+}
+
+// engineObs bundles the instruments shared by every partition. Fields stay
+// nil (no-op) until SetObserver resolves them.
+type engineObs struct {
+	cPos, cNeg      *obs.Counter
+	cAdds, cRemoves *obs.Counter
+	cExplorations   *obs.Counter
+	cRollbacks      *obs.Counter
+	cPickGreedy     *obs.Counter
+	cPickExplore    *obs.Counter
 }
 
 // New builds an engine: it partitions the first data set round-robin
@@ -58,6 +77,33 @@ func New(ds1, ds2 *store.Store, cfg Config) *Engine {
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetObserver attaches a metrics registry. Call it before running episodes
+// (partitions read the instruments concurrently during an episode, and
+// attachment is not synchronized against that). Instruments: counters
+// core.feedback.{positive,negative}, core.links.{added,removed},
+// core.explorations, core.rollbacks, core.pick.{greedy,explore}; gauge
+// core.candidates; histogram core.episode_ns. Each episode additionally
+// records a trace named "episode-<n>" with one span per partition,
+// retrievable via reg.Traces().
+func (e *Engine) SetObserver(reg *obs.Registry) {
+	e.obsReg = reg
+	e.hEpisodeNS = reg.Histogram("core.episode_ns")
+	e.gCandidates = reg.Gauge("core.candidates")
+	o := &engineObs{
+		cPos:          reg.Counter("core.feedback.positive"),
+		cNeg:          reg.Counter("core.feedback.negative"),
+		cAdds:         reg.Counter("core.links.added"),
+		cRemoves:      reg.Counter("core.links.removed"),
+		cExplorations: reg.Counter("core.explorations"),
+		cRollbacks:    reg.Counter("core.rollbacks"),
+		cPickGreedy:   reg.Counter("core.pick.greedy"),
+		cPickExplore:  reg.Counter("core.pick.explore"),
+	}
+	for _, p := range e.partitions {
+		p.obs = o
+	}
+}
 
 // Partitions returns the number of partitions.
 func (e *Engine) Partitions() int { return len(e.partitions) }
@@ -131,6 +177,7 @@ func (s EpisodeStats) String() string {
 // SerialJudge.
 func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
 	e.episode++
+	tr, t0 := e.traceEpisode()
 	n := len(e.partitions)
 	share := e.cfg.EpisodeSize / n
 	if share == 0 {
@@ -141,11 +188,42 @@ func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
 		wg.Add(1)
 		go func(p *partition) {
 			defer wg.Done()
+			sp := tr.Root().Child("partition")
 			p.runEpisode(share, judge)
+			p.endSpan(sp)
 		}(p)
 	}
 	wg.Wait()
-	return e.collectStats()
+	return e.finishEpisodeObs(tr, t0)
+}
+
+// traceEpisode starts the per-episode trace and clock. Both returns are nil
+// zero-values when no observer is attached, so the disabled path reads no
+// clock and allocates nothing.
+func (e *Engine) traceEpisode() (*obs.Trace, time.Time) {
+	if e.obsReg == nil {
+		return nil, time.Time{}
+	}
+	return obs.NewTrace(fmt.Sprintf("episode-%d", e.episode)), time.Now()
+}
+
+// finishEpisodeObs aggregates stats and closes out the episode trace.
+func (e *Engine) finishEpisodeObs(tr *obs.Trace, t0 time.Time) EpisodeStats {
+	st := e.collectStats()
+	e.gCandidates.Set(int64(st.Candidates))
+	if e.obsReg != nil {
+		e.hEpisodeNS.Observe(time.Since(t0).Nanoseconds())
+		root := tr.Root()
+		root.SetInt("feedback", int64(st.Feedback))
+		root.SetInt("positive", int64(st.Positive))
+		root.SetInt("negative", int64(st.Negative))
+		root.SetInt("added", int64(st.Added))
+		root.SetInt("removed", int64(st.Removed))
+		root.SetInt("candidates", int64(st.Candidates))
+		tr.Finish()
+		e.obsReg.AddTrace(tr)
+	}
+	return st
 }
 
 // collectStats aggregates per-partition episode counters.
@@ -187,16 +265,19 @@ func (e *Engine) ApplyEpisode(items []Feedback) EpisodeStats {
 			perPartition[pi] = append(perPartition[pi], it)
 		}
 	}
+	tr, t0 := e.traceEpisode()
 	var wg sync.WaitGroup
 	for i, p := range e.partitions {
 		wg.Add(1)
 		go func(p *partition, items []Feedback) {
 			defer wg.Done()
+			sp := tr.Root().Child("partition")
 			p.applyEpisode(items)
+			p.endSpan(sp)
 		}(p, perPartition[i])
 	}
 	wg.Wait()
-	return e.collectStats()
+	return e.finishEpisodeObs(tr, t0)
 }
 
 // Converged reports whether every partition has strictly converged (no

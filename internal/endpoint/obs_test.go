@@ -1,0 +1,95 @@
+package endpoint
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"alex/internal/obs"
+)
+
+func TestServerMetricsAndTrace(t *testing.T) {
+	h := NewHandler(testStore())
+	reg := obs.NewRegistry()
+	h.SetObserver(reg)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	query := `SELECT ?n WHERE { <http://x/alice> <http://x/name> ?n }`
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// One good query, one malformed.
+	if code, _ := get("/sparql?query=" + url.QueryEscape(query)); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if code, _ := get("/sparql?query=NONSENSE"); code != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d", code)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{`"endpoint.requests":2`, `"endpoint.status.200":1`, `"endpoint.status.400":1`, `"endpoint.request_ns"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+	snap := reg.Snapshot()
+	if h := snap.Histograms["endpoint.request_ns"]; h.Count != 2 || h.P50 <= 0 {
+		t.Errorf("request latency histogram insane: %+v", h)
+	}
+
+	code, body = get("/debug/trace?query=" + url.QueryEscape(query))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d: %s", code, body)
+	}
+	for _, want := range []string{"1 rows", "query", "pattern", "out=1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/trace missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get("/debug/trace?format=json&query=" + url.QueryEscape(query))
+	if code != http.StatusOK || !strings.Contains(body, `"name":"query"`) {
+		t.Errorf("/debug/trace JSON form wrong (status %d):\n%s", code, body)
+	}
+}
+
+func TestServerMetricsWithoutObserver(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testStore()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics without observer = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerTraceNotEnabled(t *testing.T) {
+	h := NewQueryHandler(func(string) (*Result, error) { return &Result{}, nil }, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace?query=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/debug/trace without TraceFunc = %d, want 501", resp.StatusCode)
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/sparql"
 	"alex/internal/store"
@@ -29,19 +31,33 @@ import (
 // can be served as an endpoint (hierarchical federation).
 type QueryFunc func(query string) (*Result, error)
 
+// TraceFunc answers one SPARQL query and returns its execution trace. It
+// backs the /debug/trace route; see Handler.SetTraceFunc.
+type TraceFunc func(query string) (*Result, *obs.Trace, error)
+
 // Handler serves a SPARQL query engine over the protocol. Routes:
 //
-//	GET/POST /sparql   the query endpoint (?query= or form/body)
-//	GET      /stats    JSON statistics
+//	GET/POST /sparql        the query endpoint (?query= or form/body)
+//	GET      /stats         JSON statistics
+//	GET      /metrics       JSON metrics snapshot (see SetObserver)
+//	GET/POST /debug/trace   per-query span tree (see SetTraceFunc)
 type Handler struct {
 	query QueryFunc
 	stats func() map[string]any
 	mux   *http.ServeMux
+
+	// Observability. Set both before serving; instruments are nil-safe
+	// no-ops while unset.
+	obsReg     *obs.Registry
+	trace      TraceFunc
+	cRequests  *obs.Counter
+	hRequestNS *obs.Histogram
 }
 
-// NewHandler returns a handler over a single store.
+// NewHandler returns a handler over a single store, with /debug/trace
+// pre-wired to the store's query evaluator.
 func NewHandler(st *store.Store) *Handler {
-	return NewQueryHandler(
+	h := NewQueryHandler(
 		func(query string) (*Result, error) { return storeQuery(st, query) },
 		func() map[string]any {
 			s := st.Stats()
@@ -53,6 +69,10 @@ func NewHandler(st *store.Store) *Handler {
 			}
 		},
 	)
+	h.SetTraceFunc(func(query string) (*Result, *obs.Trace, error) {
+		return storeTraceQuery(st, query)
+	})
+	return h
 }
 
 // NewQueryHandler returns a handler over any query engine. stats may be nil.
@@ -60,8 +80,25 @@ func NewQueryHandler(query QueryFunc, stats func() map[string]any) *Handler {
 	h := &Handler{query: query, stats: stats, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/sparql", h.handleQuery)
 	h.mux.HandleFunc("/stats", h.handleStats)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux.HandleFunc("/debug/trace", h.handleTrace)
 	return h
 }
+
+// SetObserver attaches a metrics registry: endpoint.requests and
+// endpoint.request_ns record query requests and their latency, and
+// endpoint.status.<code> counts responses per HTTP status. The registry
+// also backs /metrics. Call before serving.
+func (h *Handler) SetObserver(reg *obs.Registry) {
+	h.obsReg = reg
+	h.cRequests = reg.Counter("endpoint.requests")
+	h.hRequestNS = reg.Histogram("endpoint.request_ns")
+}
+
+// SetTraceFunc enables /debug/trace: each request there is answered by fn
+// and the returned span tree is rendered (text by default, JSON with
+// ?format=json). Call before serving.
+func (h *Handler) SetTraceFunc(fn TraceFunc) { h.trace = fn }
 
 // storeQuery evaluates a query against one store and adapts the result.
 func storeQuery(st *store.Store, query string) (*Result, error) {
@@ -81,6 +118,25 @@ func storeQuery(st *store.Store, query string) (*Result, error) {
 	return out, nil
 }
 
+// storeTraceQuery is storeQuery with span recording, for /debug/trace.
+func storeTraceQuery(st *store.Store, query string) (*Result, *obs.Trace, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, nil, &BadQueryError{Err: err}
+	}
+	tr := obs.NewTrace("query")
+	res, err := sparql.EvalTrace(st, q, tr)
+	if err != nil {
+		return nil, tr, err
+	}
+	out := &Result{Vars: res.Vars, Rows: res.Rows, Triples: res.Triples}
+	if q.Ask {
+		out.IsAsk = true
+		out.Boolean = res.AskResult()
+	}
+	return out, tr, nil
+}
+
 // BadQueryError marks client errors (malformed queries) so the handler can
 // answer 400 instead of 500.
 type BadQueryError struct{ Err error }
@@ -94,6 +150,30 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	h.cRequests.Inc()
+	if h.obsReg == nil {
+		h.serveQuery(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	h.serveQuery(sw, r)
+	h.hRequestNS.Observe(time.Since(t0).Nanoseconds())
+	h.obsReg.Counter(fmt.Sprintf("endpoint.status.%d", sw.status)).Inc()
+}
+
+// statusWriter captures the response status for the per-code counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (h *Handler) serveQuery(w http.ResponseWriter, r *http.Request) {
 	query, err := extractQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -126,6 +206,40 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, encodeSelect(res.Vars, res.Rows))
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, h.obsReg.Snapshot())
+}
+
+func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if h.trace == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotImplemented)
+		return
+	}
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, tr, err := h.trace(query)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bad *BadQueryError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if r.Form.Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, tr)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%d rows\n\n%s", len(res.Rows), tr.String())
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {

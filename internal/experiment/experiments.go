@@ -9,6 +9,7 @@ import (
 	"alex/internal/datagen"
 	"alex/internal/feature"
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/store"
 )
 
@@ -19,6 +20,9 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Obs, when non-nil, collects engine metrics and per-episode traces
+	// across every run the experiment performs (cmd/alex -trace).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +79,7 @@ func qualityExperiment(id, title string, spec func(float64, int64) datagen.PairS
 				Spec: spec(opt.Scale, opt.Seed),
 				Core: cc,
 				Seed: opt.Seed,
+				Obs:  opt.Obs,
 			})
 			fmt.Fprintf(w, "== %s ==\n", title)
 			res.PrintCurve(w)
@@ -130,7 +135,7 @@ func runSummary(w io.Writer, opt Options) error {
 			sc.ID == "nba-dbpedia-nytimes" || sc.ID == "nba-opencyc-nytimes" {
 			cc = domainCore(opt.Seed)
 		}
-		res := Run(RunConfig{Spec: sc.Spec(opt.Scale, opt.Seed), Core: cc, Seed: opt.Seed})
+		res := Run(RunConfig{Spec: sc.Spec(opt.Scale, opt.Seed), Core: cc, Seed: opt.Seed, Obs: opt.Obs})
 		fmt.Fprintf(w, "%-22s %7d | P=%.2f R=%.2f    | P=%.2f R=%.2f    | %8d %5d %+9.2f\n",
 			sc.ID, res.TruthSize,
 			res.Initial.Precision, res.Initial.Recall,
@@ -223,12 +228,14 @@ func runFig6(w io.Writer, opt Options) error {
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: batchCore(opt.Seed),
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	cfgNoBL := batchCore(opt.Seed).DisableBlacklist()
 	withoutBL := Run(RunConfig{
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: cfgNoBL,
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	fmt.Fprintf(w, "== Fig 6: effect of the blacklist (DBpedia - NYTimes) ==\n")
 	fmt.Fprintf(w, "%-8s  %-22s  %-22s\n", "episode", "with blacklist", "without blacklist")
@@ -276,12 +283,14 @@ func runFig7(w io.Writer, opt Options) error {
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: batchCore(opt.Seed),
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	noRB := batchCore(opt.Seed).DisableRollback()
 	withoutRB := Run(RunConfig{
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: noRB,
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	fmt.Fprintf(w, "== Fig 7: effect of rollback (DBpedia - NYTimes) ==\n")
 	fmt.Fprintf(w, "(a) without rollback (cap %d episodes):\n", noRB.MaxEpisodes)
@@ -327,6 +336,7 @@ func runFig9(w io.Writer, opt Options) error {
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: batchCore(opt.Seed),
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	noisyCfg := batchCore(opt.Seed)
 	// Under noisy feedback a single erroneous rejection must not destroy a
@@ -338,6 +348,7 @@ func runFig9(w io.Writer, opt Options) error {
 		Core:      noisyCfg,
 		ErrorRate: 0.10,
 		Seed:      opt.Seed,
+		Obs:       opt.Obs,
 	})
 	fmt.Fprintf(w, "== Fig 9: effect of 10%% incorrect feedback (DBpedia - NYTimes) ==\n")
 	fmt.Fprintf(w, "(noisy run uses the noise-tolerant blacklist threshold of 3)\n")
@@ -372,6 +383,7 @@ func runFig10(w io.Writer, opt Options) error {
 			Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 			Core: cc,
 			Seed: opt.Seed,
+			Obs:  opt.Obs,
 		})
 		fmt.Fprintf(w, "%-10.2f %-9.3f %-9.3f %-9.3f %-10d %-10.1f %-9.2f\n",
 			s, res.Final.Precision, res.Final.Recall, res.Final.FMeasure,
@@ -395,6 +407,7 @@ func runFig11(w io.Writer, opt Options) error {
 			Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 			Core: cc,
 			Seed: opt.Seed,
+			Obs:  opt.Obs,
 		})
 		fmt.Fprintf(w, "%-10d %-9.3f %-9.3f %-9.3f %-10d\n",
 			es, res.Final.Precision, res.Final.Recall, res.Final.FMeasure, len(res.Points))
@@ -410,11 +423,13 @@ func runTiming(w io.Writer, opt Options) error {
 		Spec: datagen.DBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: batchCore(opt.Seed),
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	domain := Run(RunConfig{
 		Spec: datagen.NBADBpediaNYTimes(opt.Scale, opt.Seed),
 		Core: domainCore(opt.Seed),
 		Seed: opt.Seed,
+		Obs:  opt.Obs,
 	})
 	fmt.Fprintf(w, "== Sec 7.3: execution time ==\n")
 	print := func(label string, r *Result) {

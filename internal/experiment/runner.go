@@ -15,6 +15,7 @@ import (
 	"alex/internal/datagen"
 	"alex/internal/feedback"
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/paris"
 )
 
@@ -30,6 +31,10 @@ type RunConfig struct {
 	Paris paris.Config
 	// Seed drives feedback sampling and error injection.
 	Seed int64
+	// Obs attaches a metrics registry to the engine: episode counters,
+	// candidate gauge and per-episode span traces accumulate there. Nil
+	// runs unobserved.
+	Obs *obs.Registry
 }
 
 // Point is one episode of a quality curve — the unit the paper's figures
@@ -98,6 +103,9 @@ func Run(cfg RunConfig) *Result {
 	initSet := linkset.FromLinks(init)
 
 	engine := core.New(pair.DS1, pair.DS2, cfg.Core)
+	if cfg.Obs != nil {
+		engine.SetObserver(cfg.Obs)
+	}
 	engine.SetInitialLinks(init)
 	setup := time.Since(setupStart)
 

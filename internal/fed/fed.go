@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"alex/internal/linkset"
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/sparql"
 	"alex/internal/store"
@@ -42,6 +44,24 @@ type Federation struct {
 	reorder bool
 	// parallel is the worker count for bound joins; 1 disables parallelism.
 	parallel int
+
+	// Observability. obsReg is nil when disabled; the individual
+	// instruments are nil-safe so hot paths call them unconditionally
+	// (one branch inside the instrument). sourceNS maps source name to
+	// its match-latency histogram; it is (re)built by SetObserver and
+	// AddSource, never during query evaluation, so queries read it
+	// without locking.
+	obsReg        *obs.Registry
+	cQueries      *obs.Counter
+	hQueryNS      *obs.Histogram
+	cSourceProbes *obs.Counter
+	cRewrites     *obs.Counter
+	cRewriteRows  *obs.Counter
+	cBatches      *obs.Counter
+	hBatchRows    *obs.Histogram
+	cRowsOut      *obs.Counter
+	gWorkersBusy  *obs.Gauge
+	sourceNS      map[string]*obs.Histogram
 }
 
 type equivEdge struct {
@@ -67,7 +87,43 @@ func New(dict *rdf.Dict, stores ...*store.Store) *Federation {
 
 // AddSource adds a member source (e.g. a remote endpoint) to the
 // federation.
-func (f *Federation) AddSource(src Source) { f.sources = append(f.sources, src) }
+func (f *Federation) AddSource(src Source) {
+	f.sources = append(f.sources, src)
+	if f.obsReg != nil {
+		f.sourceNS[src.Name()] = f.obsReg.Histogram("fed.source." + src.Name() + ".match_ns")
+	}
+}
+
+// SetObserver attaches a metrics registry. Federated-query instruments:
+// fed.queries / fed.query_ns (count and latency of Eval calls),
+// fed.source_probes (source-selection predicate probes),
+// fed.sameas.rewrites / fed.sameas.rows (sameAs substitutions fired and
+// the rows they produced), fed.boundjoin.batches / fed.boundjoin.rows
+// (bound-join batches and their input cardinalities),
+// fed.workers_busy (in-flight bound-join workers under SetParallelism),
+// fed.rows (total rows emitted by pattern extension), and per-source
+// fed.source.<name>.match_ns latency histograms. Call after all
+// AddSource calls, or re-call to pick up new sources; a nil registry
+// detaches. Not safe to call concurrently with query evaluation.
+func (f *Federation) SetObserver(reg *obs.Registry) {
+	f.obsReg = reg
+	f.cQueries = reg.Counter("fed.queries")
+	f.hQueryNS = reg.Histogram("fed.query_ns")
+	f.cSourceProbes = reg.Counter("fed.source_probes")
+	f.cRewrites = reg.Counter("fed.sameas.rewrites")
+	f.cRewriteRows = reg.Counter("fed.sameas.rows")
+	f.cBatches = reg.Counter("fed.boundjoin.batches")
+	f.hBatchRows = reg.Histogram("fed.boundjoin.rows")
+	f.cRowsOut = reg.Counter("fed.rows")
+	f.gWorkersBusy = reg.Gauge("fed.workers_busy")
+	f.sourceNS = nil
+	if reg != nil {
+		f.sourceNS = make(map[string]*obs.Histogram, len(f.sources))
+		for _, src := range f.sources {
+			f.sourceNS[src.Name()] = reg.Histogram("fed.source." + src.Name() + ".match_ns")
+		}
+	}
+}
 
 // Sources returns the member sources.
 func (f *Federation) Sources() []Source { return f.sources }
@@ -117,6 +173,21 @@ func (f *Federation) Execute(query string) (*Result, error) {
 	return f.Eval(q)
 }
 
+// ExecuteTrace parses and evaluates query, recording an EXPLAIN-style
+// span tree: per-pattern spans with source names, join input/output
+// cardinalities, sameAs rewrites fired, and per-stage durations. The
+// trace is returned even when evaluation fails partway (the recorded
+// prefix is often exactly what one wants to see).
+func (f *Federation) ExecuteTrace(query string) (*Result, *obs.Trace, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTrace("query")
+	res, err := f.EvalTrace(q, tr)
+	return res, tr, err
+}
+
 // row is a solution under construction: bindings plus link provenance.
 type row struct {
 	b    sparql.Binding
@@ -133,11 +204,35 @@ func (r row) clone() row {
 
 // Eval evaluates a parsed query against the federation.
 func (f *Federation) Eval(q *sparql.Query) (*Result, error) {
-	rows, err := f.evalPatterns(q.Patterns, []row{{b: sparql.Binding{}, used: map[linkset.Link]struct{}{}}})
+	return f.EvalTrace(q, nil)
+}
+
+// EvalTrace evaluates a parsed query, recording spans into tr (nil
+// disables tracing; metrics are still recorded when an observer is set).
+func (f *Federation) EvalTrace(q *sparql.Query, tr *obs.Trace) (*Result, error) {
+	var t0 time.Time
+	if f.obsReg != nil {
+		t0 = time.Now()
+	}
+	sp := tr.Root()
+	rows, err := f.evalPatterns(q.Patterns, []row{{b: sparql.Binding{}, used: map[linkset.Link]struct{}{}}}, sp)
 	if err != nil {
+		tr.Finish()
 		return nil, err
 	}
-	return f.finalize(q, rows)
+	fin := sp.Child("finalize")
+	fin.SetInt("in", int64(len(rows)))
+	res, err := f.finalize(q, rows)
+	if err == nil {
+		fin.SetInt("out", int64(len(res.Answers)+len(res.Triples)))
+	}
+	fin.End()
+	tr.Finish()
+	f.cQueries.Inc()
+	if f.obsReg != nil {
+		f.hQueryNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return res, err
 }
 
 // AskResult interprets a federated ASK result.
@@ -320,23 +415,25 @@ func dedupeAnswers(vars []string, answers []Answer) []Answer {
 	return out
 }
 
-func (f *Federation) evalPatterns(patterns []sparql.Pattern, in []row) ([]row, error) {
+func (f *Federation) evalPatterns(patterns []sparql.Pattern, in []row, sp *obs.Span) ([]row, error) {
 	rows := in
 	for _, p := range patterns {
 		var err error
+		stage := stageSpan(sp, p)
+		stage.SetInt("in", int64(len(rows)))
 		switch p := p.(type) {
 		case sparql.BGP:
-			rows, err = f.evalBGP(p, rows)
+			rows, err = f.evalBGP(p, rows, stage)
 		case sparql.Filter:
 			rows = f.applyFilter(p.Expr, rows)
 		case sparql.Optional:
-			rows, err = f.evalOptional(p, rows)
+			rows, err = f.evalOptional(p, rows, stage)
 		case sparql.Union:
-			rows, err = f.evalUnion(p, rows)
+			rows, err = f.evalUnion(p, rows, stage)
 		case sparql.Values:
 			rows = f.evalValues(p, rows)
 		case sparql.Exists:
-			rows, err = f.evalExists(p, rows)
+			rows, err = f.evalExists(p, rows, stage)
 		case sparql.Bind:
 			rows = f.evalBind(p, rows)
 		case sparql.PathPattern:
@@ -344,11 +441,38 @@ func (f *Federation) evalPatterns(patterns []sparql.Pattern, in []row) ([]row, e
 		default:
 			err = fmt.Errorf("fed: unknown pattern type %T", p)
 		}
+		stage.SetInt("out", int64(len(rows)))
+		stage.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// stageSpan opens a child span named after the pattern type.
+func stageSpan(sp *obs.Span, p sparql.Pattern) *obs.Span {
+	if sp == nil {
+		return nil
+	}
+	switch p.(type) {
+	case sparql.BGP:
+		return sp.Child("bgp")
+	case sparql.Filter:
+		return sp.Child("filter")
+	case sparql.Optional:
+		return sp.Child("optional")
+	case sparql.Union:
+		return sp.Child("union")
+	case sparql.Values:
+		return sp.Child("values")
+	case sparql.Exists:
+		return sp.Child("exists")
+	case sparql.Bind:
+		return sp.Child("bind")
+	default:
+		return sp.Child("pattern-group")
+	}
 }
 
 func (f *Federation) applyFilter(expr sparql.Expr, rows []row) []row {
@@ -366,10 +490,10 @@ func (f *Federation) applyFilter(expr sparql.Expr, rows []row) []row {
 	return out
 }
 
-func (f *Federation) evalOptional(opt sparql.Optional, rows []row) ([]row, error) {
+func (f *Federation) evalOptional(opt sparql.Optional, rows []row, sp *obs.Span) ([]row, error) {
 	var out []row
 	for _, r := range rows {
-		extended, err := f.evalPatterns(opt.Patterns, []row{r.clone()})
+		extended, err := f.evalPatterns(opt.Patterns, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -439,10 +563,10 @@ func (f *Federation) evalValues(v sparql.Values, rows []row) []row {
 // inner-group solution. The probe's link provenance is discarded: an
 // existence check constrains the answer but does not produce it, so
 // feedback on the answer should not implicate the probe's links.
-func (f *Federation) evalExists(e sparql.Exists, rows []row) ([]row, error) {
+func (f *Federation) evalExists(e sparql.Exists, rows []row, sp *obs.Span) ([]row, error) {
 	out := rows[:0]
 	for _, r := range rows {
-		matches, err := f.evalPatterns(e.Patterns, []row{r.clone()})
+		matches, err := f.evalPatterns(e.Patterns, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -453,14 +577,14 @@ func (f *Federation) evalExists(e sparql.Exists, rows []row) ([]row, error) {
 	return out, nil
 }
 
-func (f *Federation) evalUnion(u sparql.Union, rows []row) ([]row, error) {
+func (f *Federation) evalUnion(u sparql.Union, rows []row, sp *obs.Span) ([]row, error) {
 	var out []row
 	for _, r := range rows {
-		left, err := f.evalPatterns(u.Left, []row{r.clone()})
+		left, err := f.evalPatterns(u.Left, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
-		right, err := f.evalPatterns(u.Right, []row{r.clone()})
+		right, err := f.evalPatterns(u.Right, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -475,13 +599,26 @@ func (f *Federation) evalUnion(u sparql.Union, rows []row) ([]row, error) {
 // order chosen by the selectivity-based optimizer (optimize.go); within a
 // pattern, rows are processed by SetParallelism workers (FedX's "bound
 // joins in parallel"), preserving row order.
-func (f *Federation) evalBGP(bgp sparql.BGP, rows []row) ([]row, error) {
+func (f *Federation) evalBGP(bgp sparql.BGP, rows []row, sp *obs.Span) ([]row, error) {
 	for _, pp := range f.planBGP(bgp, boundVarsOf(rows)) {
-		next, err := f.extendRows(pp, rows)
+		var psp *obs.Span
+		if sp != nil {
+			psp = sp.Child("pattern")
+			psp.SetStr("tp", pp.tp.String())
+			psp.SetStr("sources", sourceNames(pp.sources))
+			if pp.exclusive {
+				psp.SetInt("exclusive", 1)
+			}
+			psp.SetInt("in", int64(len(rows)))
+		}
+		next, err := f.extendRows(pp, rows, psp)
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		rows = next
+		psp.SetInt("out", int64(len(rows)))
+		psp.End()
 		if len(rows) == 0 {
 			return nil, nil
 		}
@@ -489,19 +626,34 @@ func (f *Federation) evalBGP(bgp sparql.BGP, rows []row) ([]row, error) {
 	return rows, nil
 }
 
+// sourceNames renders a source list compactly for span attributes.
+func sourceNames(sources []Source) string {
+	names := ""
+	for i, src := range sources {
+		if i > 0 {
+			names += ","
+		}
+		names += src.Name()
+	}
+	return names
+}
+
 // extendRows applies one planned pattern to every row, in parallel when
 // configured. Results keep the input row order for determinism.
-func (f *Federation) extendRows(pp plannedPattern, rows []row) ([]row, error) {
+func (f *Federation) extendRows(pp plannedPattern, rows []row, psp *obs.Span) ([]row, error) {
+	f.cBatches.Inc()
+	f.hBatchRows.Observe(int64(len(rows)))
 	workers := f.parallel
 	if workers <= 1 || len(rows) < 2*workers {
 		var next []row
 		for _, r := range rows {
-			matched, err := f.matchAcross(pp.sources, pp.tp, r)
+			matched, err := f.matchAcross(pp.sources, pp.tp, r, psp)
 			if err != nil {
 				return nil, err
 			}
 			next = append(next, matched...)
 		}
+		f.cRowsOut.Add(int64(len(next)))
 		return next, nil
 	}
 	type chunk struct {
@@ -517,7 +669,9 @@ func (f *Federation) extendRows(pp plannedPattern, rows []row) ([]row, error) {
 		go func(i int, r row) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			matched, err := f.matchAcross(pp.sources, pp.tp, r)
+			f.gWorkersBusy.Add(1)
+			defer f.gWorkersBusy.Add(-1)
+			matched, err := f.matchAcross(pp.sources, pp.tp, r, psp)
 			results[i] = chunk{rows: matched, err: err}
 		}(i, r)
 	}
@@ -529,6 +683,7 @@ func (f *Federation) extendRows(pp plannedPattern, rows []row) ([]row, error) {
 		}
 		next = append(next, c.rows...)
 	}
+	f.cRowsOut.Add(int64(len(next)))
 	return next, nil
 }
 
@@ -552,6 +707,7 @@ func (f *Federation) selectSources(tp sparql.TriplePattern) []Source {
 	}
 	var out []Source
 	for _, src := range f.sources {
+		f.cSourceProbes.Inc()
 		has, err := src.HasPredicate(tp.P.Term)
 		if err != nil || has {
 			out = append(out, src)
@@ -562,11 +718,11 @@ func (f *Federation) selectSources(tp sparql.TriplePattern) []Source {
 
 // matchAcross extends one row through one pattern over the selected
 // sources, applying sameAs rewriting to bound subject/object entity terms.
-func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r row) ([]row, error) {
+func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
 	var out []row
 	for _, src := range sources {
 		// Direct match, no link used.
-		bs, err := src.Match(tp, r.b)
+		bs, err := f.timedMatch(src, tp, r.b)
 		if err != nil {
 			return nil, err
 		}
@@ -575,7 +731,7 @@ func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r ro
 			out = append(out, nr.clone())
 		}
 		// sameAs-rewritten matches for bound subject and object.
-		rewritten, err := f.rewrittenMatches(src, tp, r)
+		rewritten, err := f.rewrittenMatches(src, tp, r, psp)
 		if err != nil {
 			return nil, err
 		}
@@ -584,9 +740,23 @@ func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r ro
 	return out, nil
 }
 
+// timedMatch is src.Match plus the per-source latency histogram. The
+// clock is only read when an observer is attached.
+func (f *Federation) timedMatch(src Source, tp sparql.TriplePattern, b sparql.Binding) ([]sparql.Binding, error) {
+	if f.obsReg == nil {
+		return src.Match(tp, b)
+	}
+	t0 := time.Now()
+	bs, err := src.Match(tp, b)
+	if h := f.sourceNS[src.Name()]; h != nil {
+		h.Observe(time.Since(t0).Nanoseconds())
+	}
+	return bs, err
+}
+
 // rewrittenMatches substitutes sameAs-equivalent entities for the bound
 // subject and/or object of the pattern and records the links used.
-func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row) ([]row, error) {
+func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
 	var out []row
 	trySubst := func(pos int, orig rdf.Term, edge equivEdge) error {
 		substTerm := f.dict.Term(edge.to)
@@ -602,9 +772,14 @@ func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row
 		}
 		// Match the rewritten pattern; the variable keeps its ORIGINAL
 		// binding (the user sees one entity; the link supplied the alias).
-		bs, err := src.Match(np, r.b)
+		f.cRewrites.Inc()
+		bs, err := f.timedMatch(src, np, r.b)
 		if err != nil {
 			return err
+		}
+		if len(bs) > 0 {
+			f.cRewriteRows.Add(int64(len(bs)))
+			psp.AddInt("rewrites", int64(len(bs)))
 		}
 		for _, b := range bs {
 			nr := row{b: b, used: r.used}.clone()

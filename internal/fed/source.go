@@ -2,6 +2,7 @@ package fed
 
 import (
 	"alex/internal/endpoint"
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/sparql"
 	"alex/internal/store"
@@ -84,6 +85,34 @@ func EndpointQueryFunc(f *Federation) endpoint.QueryFunc {
 			out.Rows = append(out.Rows, a.Binding)
 		}
 		return out, nil
+	}
+}
+
+// EndpointTraceFunc adapts the federation as an endpoint.TraceFunc, backing
+// the /debug/trace route of a served federation (see EndpointQueryFunc for
+// the plain query adapter).
+func EndpointTraceFunc(f *Federation) endpoint.TraceFunc {
+	return func(query string) (*endpoint.Result, *obs.Trace, error) {
+		q, err := sparql.Parse(query)
+		if err != nil {
+			return nil, nil, &endpoint.BadQueryError{Err: err}
+		}
+		tr := obs.NewTrace("query")
+		res, err := f.EvalTrace(q, tr)
+		if err != nil {
+			return nil, tr, err
+		}
+		out := &endpoint.Result{Triples: res.Triples}
+		if q.Ask {
+			out.IsAsk = true
+			out.Boolean = res.AskResult()
+			return out, tr, nil
+		}
+		out.Vars = res.Vars
+		for _, a := range res.Answers {
+			out.Rows = append(out.Rows, a.Binding)
+		}
+		return out, tr, nil
 	}
 }
 

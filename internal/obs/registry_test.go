@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// The same name resolves to the same instrument.
+	if reg.Counter("hits").Value() != workers*per {
+		t.Fatal("Counter(name) did not return the existing instrument")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("inflight")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	reg.AddTrace(NewTrace("t"))
+	if reg.Traces() != nil {
+		t.Fatal("nil registry must retain no traces")
+	}
+
+	var tr *Trace
+	sp := tr.Root()
+	sp = sp.Child("stage")
+	sp.SetInt("rows", 1)
+	sp.AddInt("rows", 1)
+	sp.SetStr("src", "a")
+	sp.End()
+	tr.Finish()
+	if tr.String() != "" || sp != nil {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	// A known distribution: 1..1000 uniformly, shuffled.
+	vals := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, v := range vals {
+		h.Observe(int64(v + 1))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1000 || snap.Min != 1 || snap.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d, want 1000/1/1000", snap.Count, snap.Min, snap.Max)
+	}
+	if want := 500.5; math.Abs(snap.Mean-want) > 0.01 {
+		t.Fatalf("mean = %f, want %f", snap.Mean, want)
+	}
+	// Power-of-two buckets bound the relative error by one octave; with
+	// interpolation the uniform distribution lands much closer. Allow 15%.
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("%s = %f, want within 15%% of %f", name, got, want)
+		}
+	}
+	check("p50", snap.P50, 500)
+	check("p95", snap.P95, 950)
+	check("p99", snap.P99, 990)
+}
+
+func TestHistogramConstant(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(64)
+	}
+	snap := h.Snapshot()
+	if snap.Min != 64 || snap.Max != 64 {
+		t.Fatalf("min/max = %d/%d, want 64/64", snap.Min, snap.Max)
+	}
+	// Clamping to [min, max] makes all quantiles exact for constants.
+	if snap.P50 != 64 || snap.P95 != 64 || snap.P99 != 64 {
+		t.Fatalf("quantiles = %f/%f/%f, want 64", snap.P50, snap.P95, snap.P99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("lat")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	// Concurrent snapshots must be safe while recording.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("queries").Add(7)
+	reg.Gauge("workers").Set(4)
+	reg.Histogram("latency_ns").Observe(1500)
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["queries"] != 7 || back.Gauges["workers"] != 4 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if back.Histograms["latency_ns"].Count != 1 {
+		t.Fatalf("histogram lost: %+v", back.Histograms)
+	}
+	names := reg.Snapshot().Names()
+	if len(names) != 3 {
+		t.Fatalf("Names() = %v, want 3 entries", names)
+	}
+}
+
+func TestTraceRetention(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 40; i++ {
+		reg.AddTrace(NewTrace("t"))
+	}
+	if got := len(reg.Traces()); got != 16 {
+		t.Fatalf("retained %d traces, want 16", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"alex/internal/obs"
 	"alex/internal/rdf"
 	"alex/internal/store"
 )
@@ -29,11 +30,28 @@ func Execute(st *store.Store, query string) (*Result, error) {
 
 // Eval evaluates a parsed query over a single store.
 func Eval(st *store.Store, q *Query) (*Result, error) {
-	rows, err := evalPatterns(st, q.Patterns, []Binding{{}})
+	return EvalTrace(st, q, nil)
+}
+
+// EvalTrace evaluates a parsed query over a single store, recording one
+// span per evaluation stage (per-pattern match timing, join input/output
+// cardinalities) into tr. A nil trace disables recording at the cost of a
+// branch per stage.
+func EvalTrace(st *store.Store, q *Query, tr *obs.Trace) (*Result, error) {
+	sp := tr.Root()
+	rows, err := evalPatterns(st, q.Patterns, []Binding{{}}, sp)
 	if err != nil {
 		return nil, err
 	}
-	return finalize(q, rows)
+	fin := sp.Child("finalize")
+	fin.SetInt("in", int64(len(rows)))
+	res, err := finalize(q, rows)
+	if err == nil {
+		fin.SetInt("out", int64(len(res.Rows)+len(res.Triples)))
+	}
+	fin.End()
+	tr.Finish()
+	return res, err
 }
 
 // AskResult interprets the result of an ASK query: true when any solution
@@ -220,24 +238,27 @@ func rowKey(vars []string, row Binding) string {
 	return string(b)
 }
 
-// evalPatterns folds each group element over the current solution set.
-func evalPatterns(st *store.Store, patterns []Pattern, in []Binding) ([]Binding, error) {
+// evalPatterns folds each group element over the current solution set,
+// recording one child span per element under sp (nil disables tracing).
+func evalPatterns(st *store.Store, patterns []Pattern, in []Binding, sp *obs.Span) ([]Binding, error) {
 	rows := in
 	for _, p := range patterns {
 		var err error
+		stage := stageSpan(sp, p)
+		stage.SetInt("in", int64(len(rows)))
 		switch p := p.(type) {
 		case BGP:
-			rows, err = evalBGP(st, p, rows)
+			rows, err = evalBGP(st, p, rows, stage)
 		case Filter:
 			rows = applyFilter(p.Expr, rows)
 		case Optional:
-			rows, err = evalOptional(st, p, rows)
+			rows, err = evalOptional(st, p, rows, stage)
 		case Union:
-			rows, err = evalUnion(st, p, rows)
+			rows, err = evalUnion(st, p, rows, stage)
 		case Values:
 			rows = evalValues(p, rows)
 		case Exists:
-			rows, err = evalExists(st, p, rows)
+			rows, err = evalExists(st, p, rows, stage)
 		case PathPattern:
 			rows, err = evalPathPattern(st, p, rows)
 		case Bind:
@@ -245,11 +266,40 @@ func evalPatterns(st *store.Store, patterns []Pattern, in []Binding) ([]Binding,
 		default:
 			err = fmt.Errorf("sparql: unknown pattern type %T", p)
 		}
+		stage.SetInt("out", int64(len(rows)))
+		stage.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// stageSpan opens a child span named after the pattern type.
+func stageSpan(sp *obs.Span, p Pattern) *obs.Span {
+	if sp == nil {
+		return nil
+	}
+	switch p.(type) {
+	case BGP:
+		return sp.Child("bgp")
+	case Filter:
+		return sp.Child("filter")
+	case Optional:
+		return sp.Child("optional")
+	case Union:
+		return sp.Child("union")
+	case Values:
+		return sp.Child("values")
+	case Exists:
+		return sp.Child("exists")
+	case PathPattern:
+		return sp.Child("path")
+	case Bind:
+		return sp.Child("bind")
+	default:
+		return sp.Child("pattern-group")
+	}
 }
 
 func applyFilter(expr Expr, rows []Binding) []Binding {
@@ -263,10 +313,10 @@ func applyFilter(expr Expr, rows []Binding) []Binding {
 	return out
 }
 
-func evalOptional(st *store.Store, opt Optional, rows []Binding) ([]Binding, error) {
+func evalOptional(st *store.Store, opt Optional, rows []Binding, sp *obs.Span) ([]Binding, error) {
 	var out []Binding
 	for _, row := range rows {
-		extended, err := evalPatterns(st, opt.Patterns, []Binding{row})
+		extended, err := evalPatterns(st, opt.Patterns, []Binding{row}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -338,10 +388,10 @@ func evalValues(v Values, rows []Binding) []Binding {
 
 // evalExists filters rows by the existence (or absence) of a compatible
 // solution of the inner group.
-func evalExists(st *store.Store, e Exists, rows []Binding) ([]Binding, error) {
+func evalExists(st *store.Store, e Exists, rows []Binding, sp *obs.Span) ([]Binding, error) {
 	out := rows[:0]
 	for _, row := range rows {
-		matches, err := evalPatterns(st, e.Patterns, []Binding{row.Clone()})
+		matches, err := evalPatterns(st, e.Patterns, []Binding{row.Clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -352,14 +402,14 @@ func evalExists(st *store.Store, e Exists, rows []Binding) ([]Binding, error) {
 	return out, nil
 }
 
-func evalUnion(st *store.Store, u Union, rows []Binding) ([]Binding, error) {
+func evalUnion(st *store.Store, u Union, rows []Binding, sp *obs.Span) ([]Binding, error) {
 	var out []Binding
 	for _, row := range rows {
-		left, err := evalPatterns(st, u.Left, []Binding{row.Clone()})
+		left, err := evalPatterns(st, u.Left, []Binding{row.Clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
-		right, err := evalPatterns(st, u.Right, []Binding{row.Clone()})
+		right, err := evalPatterns(st, u.Right, []Binding{row.Clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -369,15 +419,25 @@ func evalUnion(st *store.Store, u Union, rows []Binding) ([]Binding, error) {
 	return out, nil
 }
 
-// evalBGP extends each solution through every triple pattern in order.
-func evalBGP(st *store.Store, bgp BGP, rows []Binding) ([]Binding, error) {
+// evalBGP extends each solution through every triple pattern in order,
+// recording one "pattern" span per triple pattern with the join's input
+// and output cardinalities.
+func evalBGP(st *store.Store, bgp BGP, rows []Binding, sp *obs.Span) ([]Binding, error) {
 	for _, tp := range bgp.Triples {
+		var psp *obs.Span
+		if sp != nil {
+			psp = sp.Child("pattern")
+			psp.SetStr("tp", tp.String())
+			psp.SetInt("in", int64(len(rows)))
+		}
 		var next []Binding
 		for _, row := range rows {
 			matches := MatchPattern(st, tp, row)
 			next = append(next, matches...)
 		}
 		rows = next
+		psp.SetInt("out", int64(len(rows)))
+		psp.End()
 		if len(rows) == 0 {
 			return nil, nil
 		}

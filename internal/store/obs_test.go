@@ -1,0 +1,47 @@
+package store
+
+import (
+	"testing"
+
+	"alex/internal/obs"
+	"alex/internal/rdf"
+)
+
+func TestStoreObserver(t *testing.T) {
+	dict := rdf.NewDict()
+	s := New("ds", dict)
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/p"), O: rdf.NewString("1")})
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/b"), P: rdf.NewIRI("http://x/p"), O: rdf.NewString("2")})
+
+	reg := obs.NewRegistry()
+	s.SetObserver(reg)
+
+	a, _ := dict.Lookup(rdf.NewIRI("http://x/a"))
+	p, _ := dict.Lookup(rdf.NewIRI("http://x/p"))
+	s.Match(a, rdf.NoTerm, rdf.NoTerm)          // subject index
+	s.Match(rdf.NoTerm, p, rdf.NoTerm)          // predicate index
+	s.Match(rdf.NoTerm, rdf.NoTerm, rdf.NoTerm) // full scan
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["store.ds.probe.subject"]; got != 1 {
+		t.Errorf("probe.subject = %d, want 1", got)
+	}
+	if got := snap.Counters["store.ds.probe.predicate"]; got != 1 {
+		t.Errorf("probe.predicate = %d, want 1", got)
+	}
+	if got := snap.Counters["store.ds.probe.scan"]; got != 1 {
+		t.Errorf("probe.scan = %d, want 1", got)
+	}
+	// 1 (subject) + 2 (predicate) + 2 (scan) matched triples.
+	if got := snap.Counters["store.ds.rows"]; got != 5 {
+		t.Errorf("rows = %d, want 5", got)
+	}
+	if got := snap.Gauges["store.ds.triples"]; got != 2 {
+		t.Errorf("triples gauge = %d, want 2", got)
+	}
+	// The gauge tracks later inserts.
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/c"), P: rdf.NewIRI("http://x/p"), O: rdf.NewString("3")})
+	if got := reg.Gauge("store.ds.triples").Value(); got != 3 {
+		t.Errorf("triples gauge after insert = %d, want 3", got)
+	}
+}

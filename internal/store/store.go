@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"alex/internal/obs"
 	"alex/internal/rdf"
 )
 
@@ -32,6 +33,16 @@ type Store struct {
 	byObj   map[rdf.TermID][]int32
 	// subjects in insertion order, for deterministic iteration
 	subjects []rdf.TermID
+
+	// Observability instruments, pre-resolved by SetObserver. All are
+	// nil-safe no-ops when unset (the disabled state costs one branch in
+	// the instrument method).
+	probeSubj  *obs.Counter
+	probeObj   *obs.Counter
+	probePred  *obs.Counter
+	probeScan  *obs.Counter
+	matchRows  *obs.Counter
+	triplesOut *obs.Gauge
 }
 
 // New returns an empty store named name over dict. The name identifies the
@@ -49,6 +60,24 @@ func New(name string, dict *rdf.Dict) *Store {
 
 // Name returns the data-set name.
 func (s *Store) Name() string { return s.name }
+
+// SetObserver attaches a metrics registry. Per-store instruments are
+// namespaced by data-set name: store.<name>.probe.{subject,object,
+// predicate,scan} count index probes by the index used, store.<name>.rows
+// counts matched triples returned, and store.<name>.triples gauges the
+// store size. A nil registry detaches (all instruments become no-ops).
+func (s *Store) SetObserver(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix := "store." + s.name + "."
+	s.probeSubj = reg.Counter(prefix + "probe.subject")
+	s.probeObj = reg.Counter(prefix + "probe.object")
+	s.probePred = reg.Counter(prefix + "probe.predicate")
+	s.probeScan = reg.Counter(prefix + "probe.scan")
+	s.matchRows = reg.Counter(prefix + "rows")
+	s.triplesOut = reg.Gauge(prefix + "triples")
+	s.triplesOut.Set(int64(len(s.triples)))
+}
 
 // Dict returns the term dictionary shared by this store.
 func (s *Store) Dict() *rdf.Dict { return s.dict }
@@ -79,6 +108,7 @@ func (s *Store) AddID(t rdf.TripleID) bool {
 	s.bySubj[t.S] = append(s.bySubj[t.S], pos)
 	s.byPred[t.P] = append(s.byPred[t.P], pos)
 	s.byObj[t.O] = append(s.byObj[t.O], pos)
+	s.triplesOut.Set(int64(len(s.triples)))
 	return true
 }
 
@@ -117,14 +147,19 @@ func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
 	var candidates []int32
 	switch {
 	case subj != rdf.NoTerm:
+		s.probeSubj.Inc()
 		candidates = s.bySubj[subj]
 	case obj != rdf.NoTerm:
+		s.probeObj.Inc()
 		candidates = s.byObj[obj]
 	case pred != rdf.NoTerm:
+		s.probePred.Inc()
 		candidates = s.byPred[pred]
 	default:
+		s.probeScan.Inc()
 		out := make([]rdf.TripleID, len(s.triples))
 		copy(out, s.triples)
+		s.matchRows.Add(int64(len(out)))
 		return out
 	}
 	var out []rdf.TripleID
@@ -141,6 +176,7 @@ func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
 		}
 		out = append(out, t)
 	}
+	s.matchRows.Add(int64(len(out)))
 	return out
 }
 
