@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check
+.PHONY: build test test-short race bench fuzz cover fmt vet check
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,20 @@ build:
 test:
 	$(GO) test ./...
 
+test-short:
+	$(GO) test -short ./...
+
 race:
-	$(GO) test -race ./internal/fed/... ./internal/obs/... ./internal/store/...
+	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/...
+
+fuzz:
+	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzNTriples$$' -fuzztime 10s
+	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzTurtle$$'   -fuzztime 10s
+	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzParse$$'    -fuzztime 10s
+	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime 10s
+
+cover:
+	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -29,6 +29,7 @@
 package alex
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -243,20 +244,45 @@ type Answer struct {
 // signal for ALEX.
 func (a Answer) UsedLinks() int { return len(a.links) }
 
-// QueryResult is a federated query result.
+// QueryResult is a federated query result. Skipped is non-empty only when
+// a Resilience policy with PartialResults is installed and a source was
+// unavailable: the answers may then be incomplete.
 type QueryResult struct {
 	Vars    []string
 	Answers []Answer
+	Skipped []fed.SourceSkip
 }
+
+// Partial reports whether any source was skipped producing this result.
+func (r *QueryResult) Partial() bool { return len(r.Skipped) > 0 }
+
+// Resilience is the federation fault-tolerance configuration (timeouts,
+// retries, circuit breakers, partial results); see fed.Resilience and
+// DefaultResilience.
+type Resilience = fed.Resilience
+
+// DefaultResilience returns production-shaped fault-tolerance settings.
+func DefaultResilience() Resilience { return fed.DefaultResilience() }
+
+// SetResilience installs a fault-tolerance policy on the session's
+// federation. Mostly relevant when remote sources are added; the default
+// in-process session never fails.
+func (s *Session) SetResilience(r Resilience) { s.fed.SetResilience(r) }
 
 // Query runs a SPARQL SELECT query over both data sets, bridging entities
 // through the current candidate links and recording per-answer provenance.
 func (s *Session) Query(query string) (*QueryResult, error) {
-	res, err := s.fed.Execute(query)
+	return s.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query with a context: cancellation and deadlines are
+// propagated into every source call.
+func (s *Session) QueryContext(ctx context.Context, query string) (*QueryResult, error) {
+	res, err := s.fed.ExecuteContext(ctx, query)
 	if err != nil {
 		return nil, err
 	}
-	out := &QueryResult{Vars: res.Vars}
+	out := &QueryResult{Vars: res.Vars, Skipped: res.Skipped}
 	for _, a := range res.Answers {
 		ans := Answer{Bindings: map[string]Term{}, links: a.Used}
 		for v, t := range a.Binding {

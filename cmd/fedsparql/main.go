@@ -12,6 +12,12 @@
 // each query's execution span tree (per-pattern timings, source names,
 // join cardinalities, sameAs rewrites) is printed to stderr, followed by
 // a JSON metrics snapshot on exit.
+//
+// Remote endpoints (-remote) are queried under a fault-tolerance policy:
+// -timeout bounds each source call, -retries retries transient failures
+// with exponential backoff, and -partial-ok degrades gracefully — when an
+// endpoint stays unavailable past its retry budget the query still
+// answers, flagged with the skipped sources, instead of failing.
 package main
 
 import (
@@ -19,9 +25,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"alex/internal/endpoint"
 	"alex/internal/fed"
@@ -37,76 +45,99 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so tests can drive the
+// whole command in-process. It returns the exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fedsparql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var dataFiles, remotes multiFlag
-	flag.Var(&dataFiles, "data", "N-Triples or Turtle file (repeatable)")
-	flag.Var(&remotes, "remote", "remote SPARQL endpoint URL, e.g. http://host:8181/sparql (repeatable; see cmd/sparqld)")
-	linksFile := flag.String("links", "", "owl:sameAs N-Triples link file")
-	query := flag.String("query", "", "SPARQL query (default: read from stdin)")
-	trace := flag.Bool("trace", false, "print each query's execution span tree and a final metrics snapshot to stderr")
-	flag.Parse()
+	fs.Var(&dataFiles, "data", "N-Triples or Turtle file (repeatable)")
+	fs.Var(&remotes, "remote", "remote SPARQL endpoint URL, e.g. http://host:8181/sparql (repeatable; see cmd/sparqld)")
+	linksFile := fs.String("links", "", "owl:sameAs N-Triples link file")
+	query := fs.String("query", "", "SPARQL query (default: read from stdin)")
+	trace := fs.Bool("trace", false, "print each query's execution span tree and a final metrics snapshot to stderr")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-source-call timeout (0 disables)")
+	retries := fs.Int("retries", 2, "retries per failed source call")
+	partialOK := fs.Bool("partial-ok", false, "tolerate unavailable sources: answer with partial results instead of failing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if len(dataFiles) == 0 && len(remotes) == 0 {
-		fmt.Fprintln(os.Stderr, "fedsparql: at least one -data file or -remote endpoint is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fedsparql: at least one -data file or -remote endpoint is required")
+		return 2
 	}
 	dict := rdf.NewDict()
 	var stores []*store.Store
 	for _, path := range dataFiles {
 		st, err := loadStore(dict, path)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "fedsparql:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s\n", st.Stats())
+		fmt.Fprintf(stderr, "loaded %s\n", st.Stats())
 		stores = append(stores, st)
 	}
 	federation := fed.New(dict, stores...)
 	for i, remoteURL := range remotes {
 		name := fmt.Sprintf("remote%d", i+1)
 		federation.AddSource(fed.RemoteSource(endpoint.NewClient(name, remoteURL, nil)))
-		fmt.Fprintf(os.Stderr, "added remote endpoint %s = %s\n", name, remoteURL)
+		fmt.Fprintf(stderr, "added remote endpoint %s = %s\n", name, remoteURL)
 	}
 	if *linksFile != "" {
 		links, err := loadLinks(dict, *linksFile)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "fedsparql:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "loaded %d sameAs links\n", links.Len())
+		fmt.Fprintf(stderr, "loaded %d sameAs links\n", links.Len())
 		federation.SetLinks(links)
 	}
+
+	res := fed.DefaultResilience()
+	res.Timeout = *timeout
+	res.MaxRetries = *retries
+	res.PartialResults = *partialOK
+	federation.SetResilience(res)
 
 	var reg *obs.Registry
 	if *trace {
 		reg = obs.NewRegistry()
 		federation.SetObserver(reg)
-		defer printMetrics(reg)
+		defer printMetrics(reg, stderr)
 	}
 
 	if *query != "" {
-		if err := runQuery(federation, *query, *trace); err != nil {
-			fatal(err)
+		if err := runQuery(federation, *query, *trace, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "fedsparql:", err)
+			return 1
 		}
-		return
+		return 0
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 	for sc.Scan() {
 		q := strings.TrimSpace(sc.Text())
 		if q == "" {
 			continue
 		}
-		if err := runQuery(federation, q, *trace); err != nil {
-			fmt.Fprintln(os.Stderr, "fedsparql:", err)
+		if err := runQuery(federation, q, *trace, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "fedsparql:", err)
 		}
 	}
+	return 0
 }
 
 // printMetrics dumps the final metrics snapshot as indented JSON.
-func printMetrics(reg *obs.Registry) {
+func printMetrics(reg *obs.Registry, stderr io.Writer) {
 	raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "metrics:\n%s\n", raw)
+	fmt.Fprintf(stderr, "metrics:\n%s\n", raw)
 }
 
 func loadStore(dict *rdf.Dict, path string) (*store.Store, error) {
@@ -150,14 +181,14 @@ func loadLinks(dict *rdf.Dict, path string) (*linkset.Set, error) {
 	return links, nil
 }
 
-func runQuery(federation *fed.Federation, query string, trace bool) error {
+func runQuery(federation *fed.Federation, query string, trace bool, stdout, stderr io.Writer) error {
 	var res *fed.Result
 	var err error
 	if trace {
 		var tr *obs.Trace
 		res, tr, err = federation.ExecuteTrace(query)
 		if tr != nil {
-			fmt.Fprintln(os.Stderr, tr.String())
+			fmt.Fprintln(stderr, tr.String())
 		}
 	} else {
 		res, err = federation.Execute(query)
@@ -165,8 +196,13 @@ func runQuery(federation *fed.Federation, query string, trace bool) error {
 	if err != nil {
 		return err
 	}
+	if res.Partial() {
+		for _, sk := range res.Skipped {
+			fmt.Fprintf(stderr, "warning: source %s skipped (%s); results may be incomplete\n", sk.Source, sk.Reason)
+		}
+	}
 	if res.Triples != nil {
-		w := rdf.NewWriter(os.Stdout)
+		w := rdf.NewWriter(stdout)
 		for _, t := range res.Triples {
 			if err := w.Write(t); err != nil {
 				return err
@@ -175,7 +211,7 @@ func runQuery(federation *fed.Federation, query string, trace bool) error {
 		if err := w.Flush(); err != nil {
 			return err
 		}
-		fmt.Printf("%d triple(s)\n", len(res.Triples))
+		fmt.Fprintf(stdout, "%d triple(s)\n", len(res.Triples))
 		return nil
 	}
 	for i, a := range res.Answers {
@@ -189,13 +225,8 @@ func runQuery(federation *fed.Federation, query string, trace bool) error {
 		if len(a.Used) > 0 {
 			prov = fmt.Sprintf("  [via %d sameAs link(s)]", len(a.Used))
 		}
-		fmt.Printf("%3d. %s%s\n", i+1, strings.Join(parts, "  "), prov)
+		fmt.Fprintf(stdout, "%3d. %s%s\n", i+1, strings.Join(parts, "  "), prov)
 	}
-	fmt.Printf("%d answer(s)\n", len(res.Answers))
+	fmt.Fprintf(stdout, "%d answer(s)\n", len(res.Answers))
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fedsparql:", err)
-	os.Exit(1)
 }

@@ -16,15 +16,22 @@
 // Turtle files (.ttl) are detected by extension. The server speaks the
 // SPARQL 1.1 protocol subset implemented in internal/endpoint: SELECT, ASK
 // and CONSTRUCT via GET/POST, JSON / N-Triples results.
+//
+// When serving a federation, -timeout and -partial-ok install the fed
+// fault-tolerance policy (per-source-call timeouts, retries, breakers, and
+// graceful degradation); request contexts propagate so a disconnected
+// client aborts its query.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"alex/internal/endpoint"
 	"alex/internal/fed"
@@ -39,45 +46,83 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// options are the parsed command-line settings buildHandler consumes.
+type options struct {
+	dataFiles []string
+	linksFile string
+	timeout   time.Duration
+	retries   int
+	partialOK bool
+}
+
 func main() {
+	fs := flag.NewFlagSet("sparqld", flag.ExitOnError)
 	var dataFiles multiFlag
-	flag.Var(&dataFiles, "data", "N-Triples or Turtle file to serve (repeatable)")
-	linksFile := flag.String("links", "", "owl:sameAs link file (used with multiple -data files)")
-	addr := flag.String("addr", ":8181", "listen address")
-	flag.Parse()
+	fs.Var(&dataFiles, "data", "N-Triples or Turtle file to serve (repeatable)")
+	linksFile := fs.String("links", "", "owl:sameAs link file (used with multiple -data files)")
+	addr := fs.String("addr", ":8181", "listen address")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-source-call timeout for federated serving (0 disables)")
+	retries := fs.Int("retries", 2, "retries per failed source call for federated serving")
+	partialOK := fs.Bool("partial-ok", false, "federated serving tolerates unavailable sources (partial results)")
+	_ = fs.Parse(os.Args[1:])
 	if len(dataFiles) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: sparqld -data <file.nt|file.ttl> [-data <file2>] [-links <file>] [-addr :8181]")
 		os.Exit(2)
 	}
 
+	handler, err := buildHandler(options{
+		dataFiles: dataFiles,
+		linksFile: *linksFile,
+		timeout:   *timeout,
+		retries:   *retries,
+		partialOK: *partialOK,
+	}, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+}
+
+// buildHandler loads the data and assembles the HTTP handler — everything
+// main does short of binding a socket, so tests can serve it with
+// httptest. Progress messages go to logw.
+func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 	dict := rdf.NewDict()
 	reg := obs.NewRegistry()
 	var stores []*store.Store
-	for _, path := range dataFiles {
+	for _, path := range opts.dataFiles {
 		st, err := load(dict, path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sparqld:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		st.SetObserver(reg)
-		fmt.Fprintf(os.Stderr, "loaded %s\n", st.Stats())
+		fmt.Fprintf(logw, "loaded %s\n", st.Stats())
 		stores = append(stores, st)
 	}
 
 	var handler *endpoint.Handler
-	if len(stores) == 1 && *linksFile == "" {
+	if len(stores) == 1 && opts.linksFile == "" {
 		handler = endpoint.NewHandler(stores[0])
 	} else {
 		federation := fed.New(dict, stores...)
-		if *linksFile != "" {
-			links, err := loadLinks(dict, *linksFile)
+		if opts.linksFile != "" {
+			links, err := loadLinks(dict, opts.linksFile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sparqld:", err)
-				os.Exit(1)
+				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "loaded %d sameAs links\n", links.Len())
+			fmt.Fprintf(logw, "loaded %d sameAs links\n", links.Len())
 			federation.SetLinks(links)
 		}
+		res := fed.DefaultResilience()
+		res.Timeout = opts.timeout
+		res.MaxRetries = opts.retries
+		res.PartialResults = opts.partialOK
+		federation.SetResilience(res)
 		federation.SetObserver(reg)
 		handler = endpoint.NewQueryHandler(fed.EndpointQueryFunc(federation), func() map[string]any {
 			out := map[string]any{"sources": len(stores), "links": federation.Links().Len()}
@@ -87,14 +132,10 @@ func main() {
 			return out
 		})
 		handler.SetTraceFunc(fed.EndpointTraceFunc(federation))
-		fmt.Fprintf(os.Stderr, "serving a federation of %d sources\n", len(stores))
+		fmt.Fprintf(logw, "serving a federation of %d sources\n", len(stores))
 	}
 	handler.SetObserver(reg)
-	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fmt.Fprintln(os.Stderr, "sparqld:", err)
-		os.Exit(1)
-	}
+	return handler, nil
 }
 
 func load(dict *rdf.Dict, path string) (*store.Store, error) {

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixtures(t *testing.T, dir string) (dbp, nyt, links string) {
+	t.Helper()
+	dbp = filepath.Join(dir, "dbpedia.nt")
+	nyt = filepath.Join(dir, "nytimes.nt")
+	links = filepath.Join(dir, "links.nt")
+	write := func(path, content string) {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(dbp, `<http://dbp/LeBron> <http://dbo/award> "NBA MVP 2013" .
+`)
+	write(nyt, `<http://nyt/article1> <http://nyo/about> <http://nyt/lebron_per> .
+`)
+	write(links, `<http://dbp/LeBron> <http://www.w3.org/2002/07/owl#sameAs> <http://nyt/lebron_per> .
+`)
+	return dbp, nyt, links
+}
+
+func get(t *testing.T, u string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSingleStoreServer(t *testing.T) {
+	dbp, _, _ := writeFixtures(t, t.TempDir())
+	var log strings.Builder
+	h, err := buildHandler(options{dataFiles: []string{dbp}}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/sparql?query="+url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }"))
+	if code != http.StatusOK {
+		t.Fatalf("/sparql = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "http://dbp/LeBron") {
+		t.Errorf("result missing subject: %s", body)
+	}
+	if code, _ := get(t, srv.URL+"/stats"); code != http.StatusOK {
+		t.Errorf("/stats = %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics = %d", code)
+	}
+	if !strings.Contains(log.String(), "loaded") {
+		t.Errorf("no load progress logged: %q", log.String())
+	}
+}
+
+// TestFederatedServer: multiple -data files plus -links serve a federation
+// whose sameAs bridging answers the cross-dataset join, and whose /metrics
+// exposes the fed resilience counters.
+func TestFederatedServer(t *testing.T) {
+	dbp, nyt, links := writeFixtures(t, t.TempDir())
+	var log strings.Builder
+	h, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: links}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	join := `SELECT ?article WHERE { ?player <http://dbo/award> "NBA MVP 2013" . ?article <http://nyo/about> ?player . }`
+	code, body := get(t, srv.URL+"/sparql?query="+url.QueryEscape(join))
+	if code != http.StatusOK {
+		t.Fatalf("/sparql = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "http://nyt/article1") {
+		t.Errorf("federated join missing answer: %s", body)
+	}
+	if !strings.Contains(log.String(), "federation of 2 sources") {
+		t.Errorf("federation not announced: %q", log.String())
+	}
+
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	for _, key := range []string{"fed.queries", "fed.source_errors", "fed.retries", "fed.partial_queries"} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Errorf("metrics missing %s (have %v)", key, snap.Counters)
+		}
+	}
+
+	if code, _ := get(t, srv.URL+"/debug/trace?query="+url.QueryEscape(join)); code != http.StatusOK {
+		t.Errorf("/debug/trace = %d", code)
+	}
+}
+
+func TestBuildHandlerErrors(t *testing.T) {
+	if _, err := buildHandler(options{dataFiles: []string{"/nonexistent.nt"}}, io.Discard); err == nil {
+		t.Error("missing data file not reported")
+	}
+	dbp, nyt, _ := writeFixtures(t, t.TempDir())
+	if _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: "/nonexistent.nt"}, io.Discard); err == nil {
+		t.Error("missing links file not reported")
+	}
+}
+
+func TestBadQueryGets400(t *testing.T) {
+	dbp, _, _ := writeFixtures(t, t.TempDir())
+	h, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if code, _ := get(t, srv.URL+"/sparql?query=NOT+SPARQL"); code != http.StatusBadRequest {
+		t.Errorf("bad query = %d, want 400", code)
+	}
+}

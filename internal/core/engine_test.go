@@ -10,9 +10,15 @@ import (
 	"alex/internal/paris"
 )
 
-// testPair generates a small NBA-style linking task.
+// testPair generates a small NBA-style linking task. In -short mode the
+// task shrinks: feature-space construction is roughly quadratic in scale
+// and dominates every engine test.
 func testPair(seed int64) *datagen.Pair {
-	return datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, seed))
+	scale := 1.0
+	if testing.Short() {
+		scale = 0.25
+	}
+	return datagen.GeneratePair(datagen.NBADBpediaNYTimes(scale, seed))
 }
 
 // initialLinks runs PARIS over the pair.
@@ -271,8 +277,14 @@ func TestConfigDisableOptimizations(t *testing.T) {
 // intersect the blacklist, and every candidate with provenance refers to
 // live bookkeeping.
 func TestEngineInvariantsProperty(t *testing.T) {
-	for _, seed := range []int64{3, 17, 91, 404} {
-		p := datagen.GeneratePair(datagen.NBADBpediaNYTimes(0.7, seed))
+	seeds := []int64{3, 17, 91, 404}
+	scale := 0.7
+	if testing.Short() {
+		seeds = seeds[:2]
+		scale = 0.25
+	}
+	for _, seed := range seeds {
+		p := datagen.GeneratePair(datagen.NBADBpediaNYTimes(scale, seed))
 		cfg := smallConfig(seed)
 		e := New(p.DS1, p.DS2, cfg)
 		e.SetInitialLinks(initialLinksOf(p))

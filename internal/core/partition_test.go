@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"alex/internal/datagen"
@@ -8,13 +9,42 @@ import (
 	"alex/internal/linkset"
 )
 
+// partitionFixture caches the generated pair and its feature space across
+// partition tests: building the space dominates each test's runtime, every
+// test here uses the default space options, and partitions only read the
+// space (FeatureSet/ExploreN), so sharing is safe.
+var partitionFixture struct {
+	once  sync.Once
+	pair  *datagen.Pair
+	space *feature.Space
+	theta float64
+}
+
 // buildTestPartition constructs a single partition over a generated pair.
 func buildTestPartition(t *testing.T, cfg Config) (*partition, *datagen.Pair) {
 	t.Helper()
-	p := datagen.GeneratePair(datagen.NBADBpediaNYTimes(0.6, 31))
 	cfg = cfg.withDefaults()
-	space := feature.Build(p.DS1, p.DS1.Subjects(), p.DS2, cfg.SpaceOptions)
-	return newPartition(0, space, cfg, cfg.Seed), p
+	fx := &partitionFixture
+	fx.once.Do(func() {
+		scale := 0.6
+		if testing.Short() {
+			scale = 0.35
+		}
+		fx.pair = datagen.GeneratePair(datagen.NBADBpediaNYTimes(scale, 31))
+		fx.space = feature.Build(fx.pair.DS1, fx.pair.DS1.Subjects(), fx.pair.DS2, cfg.SpaceOptions)
+		fx.theta = cfg.SpaceOptions.Theta
+	})
+	pair, space := fx.pair, fx.space
+	if cfg.SpaceOptions.Theta != fx.theta || cfg.SpaceOptions.Similarity != nil {
+		// A test with non-default space options pays for its own build.
+		scale := 0.6
+		if testing.Short() {
+			scale = 0.35
+		}
+		pair = datagen.GeneratePair(datagen.NBADBpediaNYTimes(scale, 31))
+		space = feature.Build(pair.DS1, pair.DS1.Subjects(), pair.DS2, cfg.SpaceOptions)
+	}
+	return newPartition(0, space, cfg, cfg.Seed), pair
 }
 
 func TestPartitionAddRemoveCandidate(t *testing.T) {

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,7 +59,19 @@ type Result struct {
 
 // Query sends a SPARQL query and decodes the JSON response.
 func (c *Client) Query(query string) (*Result, error) {
-	resp, err := c.http.PostForm(c.base, url.Values{"query": {query}})
+	return c.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query with a context: the HTTP request carries ctx, so a
+// caller's deadline or cancellation aborts the in-flight round trip.
+func (c *Client) QueryContext(ctx context.Context, query string) (*Result, error) {
+	form := url.Values{"query": {query}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base, strings.NewReader(form))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint %s: %w", c.name, err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint %s: %w", c.name, err)
 	}
@@ -101,13 +114,18 @@ func (c *Client) Query(query string) (*Result, error) {
 
 // Ask runs an ASK query, cached by query text.
 func (c *Client) Ask(query string) (bool, error) {
+	return c.AskContext(context.Background(), query)
+}
+
+// AskContext is Ask with a context (see QueryContext).
+func (c *Client) AskContext(ctx context.Context, query string) (bool, error) {
 	c.mu.Lock()
 	if v, ok := c.askCache[query]; ok {
 		c.mu.Unlock()
 		return v, nil
 	}
 	c.mu.Unlock()
-	res, err := c.Query(query)
+	res, err := c.QueryContext(ctx, query)
 	if err != nil {
 		return false, err
 	}
@@ -123,12 +141,22 @@ func (c *Client) Ask(query string) (bool, error) {
 // HasPredicate probes whether the endpoint holds any triple with the given
 // predicate — the FedX ASK-based source-selection probe, cached.
 func (c *Client) HasPredicate(pred rdf.Term) (bool, error) {
-	return c.Ask(fmt.Sprintf("ASK { ?s %s ?o }", pred))
+	return c.HasPredicateContext(context.Background(), pred)
+}
+
+// HasPredicateContext is HasPredicate with a context (see QueryContext).
+func (c *Client) HasPredicateContext(ctx context.Context, pred rdf.Term) (bool, error) {
+	return c.AskContext(ctx, fmt.Sprintf("ASK { ?s %s ?o }", pred))
 }
 
 // PredicateCount returns the number of triples with the given predicate,
 // cached. Used by the federated join optimizer's cost model.
 func (c *Client) PredicateCount(pred rdf.Term) (int, error) {
+	return c.PredicateCountContext(context.Background(), pred)
+}
+
+// PredicateCountContext is PredicateCount with a context (see QueryContext).
+func (c *Client) PredicateCountContext(ctx context.Context, pred rdf.Term) (int, error) {
 	key := pred.String()
 	c.mu.Lock()
 	if v, ok := c.countCache[key]; ok {
@@ -136,7 +164,7 @@ func (c *Client) PredicateCount(pred rdf.Term) (int, error) {
 		return v, nil
 	}
 	c.mu.Unlock()
-	res, err := c.Query(fmt.Sprintf("SELECT (COUNT(*) AS ?n) WHERE { ?s %s ?o }", pred))
+	res, err := c.QueryContext(ctx, fmt.Sprintf("SELECT (COUNT(*) AS ?n) WHERE { ?s %s ?o }", pred))
 	if err != nil {
 		return 0, err
 	}
@@ -157,13 +185,18 @@ func (c *Client) PredicateCount(pred rdf.Term) (int, error) {
 // Size returns the endpoint's total triple count (from /stats if the base
 // URL ends in /sparql, else via COUNT), cached under the empty key.
 func (c *Client) Size() (int, error) {
+	return c.SizeContext(context.Background())
+}
+
+// SizeContext is Size with a context (see QueryContext).
+func (c *Client) SizeContext(ctx context.Context) (int, error) {
 	c.mu.Lock()
 	if v, ok := c.countCache[""]; ok {
 		c.mu.Unlock()
 		return v, nil
 	}
 	c.mu.Unlock()
-	res, err := c.Query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+	res, err := c.QueryContext(ctx, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
 	if err != nil {
 		return 0, err
 	}
@@ -183,6 +216,11 @@ func (c *Client) Size() (int, error) {
 // substituted as constants) against the endpoint and returns the extended
 // bindings — the remote counterpart of sparql.MatchPattern.
 func (c *Client) MatchPattern(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+	return c.MatchPatternContext(context.Background(), tp, binding)
+}
+
+// MatchPatternContext is MatchPattern with a context (see QueryContext).
+func (c *Client) MatchPatternContext(ctx context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
 	render := func(n sparql.Node) (string, string) {
 		if n.IsVar() {
 			if t, ok := binding[n.Var]; ok {
@@ -205,7 +243,7 @@ func (c *Client) MatchPattern(tp sparql.TriplePattern, binding sparql.Binding) (
 	}
 	patternTxt := fmt.Sprintf("%s %s %s .", sTxt, pTxt, oTxt)
 	if len(vars) == 0 {
-		ok, err := c.Ask("ASK { " + patternTxt + " }")
+		ok, err := c.AskContext(ctx, "ASK { "+patternTxt+" }")
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +258,7 @@ func (c *Client) MatchPattern(tp sparql.TriplePattern, binding sparql.Binding) (
 		sb.WriteString("?" + v + " ")
 	}
 	sb.WriteString("WHERE { " + patternTxt + " }")
-	res, err := c.Query(sb.String())
+	res, err := c.QueryContext(ctx, sb.String())
 	if err != nil {
 		return nil, err
 	}

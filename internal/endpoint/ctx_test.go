@@ -1,0 +1,76 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestQueryContextDeadline: a context deadline aborts an in-flight request
+// against a slow endpoint instead of hanging.
+func TestQueryContextDeadline(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := NewClient("slow", srv.URL, srv.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.QueryContext(ctx, "SELECT ?s WHERE { ?s ?p ?o }")
+	if err == nil {
+		t.Fatal("QueryContext returned no error from a hung endpoint")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded cause", err)
+	}
+	if took := time.Since(t0); took > time.Second {
+		t.Errorf("deadline not honored: took %v", took)
+	}
+}
+
+// TestQueryContextCancel: cancelling before the call fails fast.
+func TestQueryContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	c := NewClient("c", srv.URL, srv.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.QueryContext(ctx, "ASK { ?s ?p ?o }"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled cause", err)
+	}
+}
+
+// TestServerPropagatesRequestContext: the handler hands the request's
+// context to its QueryFunc, so client disconnects can abort evaluation.
+func TestServerPropagatesRequestContext(t *testing.T) {
+	got := make(chan context.Context, 1)
+	h := NewQueryHandler(func(ctx context.Context, query string) (*Result, error) {
+		got <- ctx
+		return &Result{}, nil
+	}, nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/sparql?query=ASK%20%7B%20%3Fs%20%3Fp%20%3Fo%20%7D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	select {
+	case ctx := <-got:
+		if ctx == nil || ctx == context.Background() {
+			t.Error("QueryFunc did not receive the request context")
+		}
+	default:
+		t.Fatal("QueryFunc never called")
+	}
+}

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -81,7 +82,7 @@ func TestServerMetricsWithoutObserver(t *testing.T) {
 }
 
 func TestServerTraceNotEnabled(t *testing.T) {
-	h := NewQueryHandler(func(string) (*Result, error) { return &Result{}, nil }, nil)
+	h := NewQueryHandler(func(context.Context, string) (*Result, error) { return &Result{}, nil }, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/debug/trace?query=x")

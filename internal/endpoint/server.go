@@ -12,6 +12,7 @@
 package endpoint
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,12 +29,14 @@ import (
 
 // QueryFunc answers one SPARQL query. It backs the generic query handler,
 // so anything that speaks SPARQL — a single store, a whole federation —
-// can be served as an endpoint (hierarchical federation).
-type QueryFunc func(query string) (*Result, error)
+// can be served as an endpoint (hierarchical federation). ctx is the
+// request's context: it is cancelled when the client disconnects, and may
+// carry a per-request deadline.
+type QueryFunc func(ctx context.Context, query string) (*Result, error)
 
 // TraceFunc answers one SPARQL query and returns its execution trace. It
 // backs the /debug/trace route; see Handler.SetTraceFunc.
-type TraceFunc func(query string) (*Result, *obs.Trace, error)
+type TraceFunc func(ctx context.Context, query string) (*Result, *obs.Trace, error)
 
 // Handler serves a SPARQL query engine over the protocol. Routes:
 //
@@ -58,7 +61,7 @@ type Handler struct {
 // pre-wired to the store's query evaluator.
 func NewHandler(st *store.Store) *Handler {
 	h := NewQueryHandler(
-		func(query string) (*Result, error) { return storeQuery(st, query) },
+		func(_ context.Context, query string) (*Result, error) { return storeQuery(st, query) },
 		func() map[string]any {
 			s := st.Stats()
 			return map[string]any{
@@ -69,7 +72,7 @@ func NewHandler(st *store.Store) *Handler {
 			}
 		},
 	)
-	h.SetTraceFunc(func(query string) (*Result, *obs.Trace, error) {
+	h.SetTraceFunc(func(_ context.Context, query string) (*Result, *obs.Trace, error) {
 		return storeTraceQuery(st, query)
 	})
 	return h
@@ -179,7 +182,7 @@ func (h *Handler) serveQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := h.query(query)
+	res, err := h.query(r.Context(), query)
 	if err != nil {
 		status := http.StatusInternalServerError
 		var bad *BadQueryError
@@ -223,7 +226,7 @@ func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, tr, err := h.trace(query)
+	res, tr, err := h.trace(r.Context(), query)
 	if err != nil {
 		status := http.StatusInternalServerError
 		var bad *BadQueryError

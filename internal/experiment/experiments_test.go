@@ -35,8 +35,12 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestRunProducesCurve(t *testing.T) {
+	scale := 0.5
+	if testing.Short() {
+		scale = 0.3
+	}
 	res := Run(RunConfig{
-		Spec: datagen.NBADBpediaNYTimes(0.5, 3),
+		Spec: datagen.NBADBpediaNYTimes(scale, 3),
 		Core: domainCore(3),
 		Seed: 3,
 	})
@@ -61,6 +65,9 @@ func TestRunProducesCurve(t *testing.T) {
 // the low-precision/high-recall regime, ALEX's work is removing incorrect
 // links — precision must rise substantially while recall stays high.
 func TestFig2bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale drugbank curve; shape is covered by the golden tests in -short")
+	}
 	res := Run(RunConfig{
 		Spec: datagen.DBpediaDrugbank(1, 42),
 		Core: batchCore(42),
@@ -84,6 +91,9 @@ func TestFig2bShape(t *testing.T) {
 // TestFig2aShape checks the high-precision/low-recall regime: recall must
 // improve substantially via discovered links.
 func TestFig2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fig2a run; golden_test.go covers the shape in -short")
+	}
 	res := Run(RunConfig{
 		Spec: datagen.DBpediaNYTimes(1, 42),
 		Core: batchCore(42),
@@ -106,6 +116,9 @@ func TestFig2aShape(t *testing.T) {
 // TestFig7Shape: without rollback, quality at the episode cap must be far
 // below the with-rollback run (the paper's Fig 7(a) collapse).
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full-scale runs; skipped in -short")
+	}
 	with := Run(RunConfig{
 		Spec: datagen.DBpediaNYTimes(1, 42),
 		Core: batchCore(42),
@@ -214,6 +227,9 @@ func TestRunAllSmoke(t *testing.T) {
 }
 
 func TestRenderFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full render pipeline; the golden tests cover series generation in -short")
+	}
 	// A quality figure and a comparison figure render well-formed SVG.
 	figs, err := RenderFigures("fig4c", Options{Scale: 0.3, Seed: 5})
 	if err != nil {
@@ -235,8 +251,12 @@ func TestRenderFigures(t *testing.T) {
 }
 
 func TestQualityChartSeriesLengths(t *testing.T) {
+	scale := 0.4
+	if testing.Short() {
+		scale = 0.25
+	}
 	res := Run(RunConfig{
-		Spec: datagen.NBADBpediaNYTimes(0.4, 3),
+		Spec: datagen.NBADBpediaNYTimes(scale, 3),
 		Core: domainCore(3),
 		Seed: 3,
 	})

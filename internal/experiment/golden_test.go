@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"alex/internal/datagen"
+	"alex/internal/feature"
+)
+
+// The golden tests pin the figure series to checked-in files: fixed seeds
+// and reduced scale make every run bit-identical, so any drift in the
+// engine, the optimizer or the data generator shows up as a diff. They
+// also assert the paper-shape invariants from DESIGN.md directly, so they
+// double as fast shape coverage in -short mode (the full-scale shape
+// tests are skipped there). Regenerate after an intentional behavior
+// change with:
+//
+//	go test ./internal/experiment/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// checkGolden compares got against testdata/golden/<name>, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("%s drifted from golden file; rerun with -update if the change is intentional\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// goldenPoint is the serialized form of one episode: floats are rounded so
+// the file diffs stay readable.
+type goldenPoint struct {
+	Episode   int     `json:"episode"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	FMeasure  float64 `json:"f"`
+	NegShare  float64 `json:"negShare"`
+}
+
+func round4(v float64) float64 { return float64(int(v*10000+0.5)) / 10000 }
+
+func goldenSeries(res *Result) []goldenPoint {
+	out := make([]goldenPoint, len(res.Points))
+	for i, p := range res.Points {
+		out[i] = goldenPoint{
+			Episode:   p.Episode,
+			Precision: round4(p.Quality.Precision),
+			Recall:    round4(p.Quality.Recall),
+			FMeasure:  round4(p.Quality.FMeasure),
+			NegShare:  round4(p.NegShare),
+		}
+	}
+	return out
+}
+
+func marshalGolden(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(raw, '\n')
+}
+
+// TestGoldenFig2aSeries pins the Fig 2(a) batch curve (DBpedia–NYTimes)
+// and asserts its paper shape: initial recall is low because NYTimes
+// references are sparse, and feedback episodes raise it substantially
+// while discovering links PARIS missed.
+func TestGoldenFig2aSeries(t *testing.T) {
+	res := Run(RunConfig{
+		Spec: datagen.DBpediaNYTimes(0.3, 42),
+		Core: batchCore(42),
+		Seed: 42,
+	})
+	if res.Initial.Recall > 0.5 {
+		t.Errorf("initial recall = %.3f, want low (paper: ~0.2)", res.Initial.Recall)
+	}
+	if res.Final.Recall < res.Initial.Recall+0.15 {
+		t.Errorf("recall jump missing: %.3f -> %.3f", res.Initial.Recall, res.Final.Recall)
+	}
+	if res.NewCorrect == 0 {
+		t.Error("no new links discovered beyond PARIS")
+	}
+	doc := struct {
+		Initial goldenPoint   `json:"initial"`
+		Points  []goldenPoint `json:"points"`
+		New     int           `json:"newCorrect"`
+	}{
+		Initial: goldenPoint{
+			Precision: round4(res.Initial.Precision),
+			Recall:    round4(res.Initial.Recall),
+			FMeasure:  round4(res.Initial.FMeasure),
+		},
+		Points: goldenSeries(res),
+		New:    res.NewCorrect,
+	}
+	checkGolden(t, "fig2a.json", marshalGolden(t, doc))
+}
+
+// TestGoldenFig5Filter pins the Fig 5 search-space numbers and asserts the
+// paper invariant: the θ-filter removes the overwhelming majority
+// (DESIGN.md: ≈95%) of the possible link space while keeping most of the
+// ground truth reachable.
+func TestGoldenFig5Filter(t *testing.T) {
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(0.5, 42))
+	parts := feature.Partition(pair.DS1.Subjects(), 8)
+	sp := feature.Build(pair.DS1, parts[0], pair.DS2, feature.DefaultOptions())
+
+	partSet := map[uint32]bool{}
+	for _, s := range parts[0] {
+		partSet[uint32(s)] = true
+	}
+	truthInPartition, truthInSpace := 0, 0
+	for _, l := range pair.Truth.Links() {
+		if !partSet[uint32(l.Left)] {
+			continue
+		}
+		truthInPartition++
+		if _, ok := sp.FeatureSet(l); ok {
+			truthInSpace++
+		}
+	}
+	total, filtered := sp.TotalPairs(), sp.Len()
+	ratio := float64(filtered) / float64(total)
+	if ratio > 0.10 {
+		t.Errorf("filter kept %.1f%% of the space, want <= 10%% (paper: ~5%%)", ratio*100)
+	}
+	if truthInPartition == 0 {
+		t.Fatal("no ground truth in partition; fixture too small")
+	}
+	if kept := float64(truthInSpace) / float64(truthInPartition); kept < 0.5 {
+		t.Errorf("filter kept only %.0f%% of the ground truth", kept*100)
+	}
+	doc := fmt.Sprintf("total=%d\nfiltered=%d\ntruthInPartition=%d\ntruthInSpace=%d\n",
+		total, filtered, truthInPartition, truthInSpace)
+	checkGolden(t, "fig5.txt", []byte(doc))
+}
+
+// TestGoldenFig6Blacklist pins the Fig 6 comparison and asserts the
+// paper invariant: the blacklist reaches comparable final quality with a
+// lower share of negative feedback over the early episodes.
+func TestGoldenFig6Blacklist(t *testing.T) {
+	withBL := Run(RunConfig{
+		Spec: datagen.DBpediaNYTimes(0.2, 42),
+		Core: batchCore(42),
+		Seed: 42,
+	})
+	withoutBL := Run(RunConfig{
+		Spec: datagen.DBpediaNYTimes(0.2, 42),
+		Core: batchCore(42).DisableBlacklist(),
+		Seed: 42,
+	})
+	avgWith := avgNeg(firstN(withBL.Points, 10))
+	avgWithout := avgNeg(firstN(withoutBL.Points, 10))
+	if avgWith >= avgWithout {
+		t.Errorf("blacklist negative-feedback share %.3f >= %.3f without", avgWith, avgWithout)
+	}
+	if withBL.Final.FMeasure < withoutBL.Final.FMeasure-0.1 {
+		t.Errorf("blacklist cost too much quality: F %.3f vs %.3f", withBL.Final.FMeasure, withoutBL.Final.FMeasure)
+	}
+	doc := struct {
+		With    []goldenPoint `json:"withBlacklist"`
+		Without []goldenPoint `json:"withoutBlacklist"`
+	}{goldenSeries(withBL), goldenSeries(withoutBL)}
+	checkGolden(t, "fig6.json", marshalGolden(t, doc))
+}

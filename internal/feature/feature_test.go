@@ -126,7 +126,11 @@ func TestBuildSpaceAndExplore(t *testing.T) {
 func TestExploreRangeSemantics(t *testing.T) {
 	// Build a space over a generated scenario and check that Explore
 	// returns exactly the pairs whose score lies in range.
-	p := datagen.GeneratePair(datagen.NBADBpediaNYTimes(0.5, 5))
+	scale := 0.5
+	if testing.Short() {
+		scale = 0.25
+	}
+	p := datagen.GeneratePair(datagen.NBADBpediaNYTimes(scale, 5))
 	sp := Build(p.DS1, p.DS1.Subjects(), p.DS2, DefaultOptions())
 	feats := sp.Features()
 	if len(feats) == 0 {
@@ -155,7 +159,11 @@ func TestExploreRangeSemantics(t *testing.T) {
 }
 
 func TestSpaceFiltersAgainstCrossProduct(t *testing.T) {
-	p := datagen.GeneratePair(datagen.DBpediaNYTimes(0.3, 9))
+	scale := 0.3
+	if testing.Short() {
+		scale = 0.2
+	}
+	p := datagen.GeneratePair(datagen.DBpediaNYTimes(scale, 9))
 	parts := Partition(p.DS1.Subjects(), 4)
 	sp := Build(p.DS1, parts[0], p.DS2, DefaultOptions())
 	if sp.Len() == 0 {

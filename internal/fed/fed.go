@@ -18,7 +18,9 @@
 package fed
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -45,6 +47,20 @@ type Federation struct {
 	// parallel is the worker count for bound joins; 1 disables parallelism.
 	parallel int
 
+	// Fault tolerance (resilience.go). res holds the active policy, resOn
+	// caches whether any of it is enabled, breakers maps source name to
+	// its circuit breaker. Like sourceNS, breakers is (re)built by
+	// SetResilience and AddSource, never during query evaluation, so
+	// queries read it without locking; the breakers themselves are
+	// internally synchronized.
+	res      Resilience
+	resOn    bool
+	breakers map[string]*breaker
+	// jitterRNG randomizes retry backoff; guarded by jitterMu because
+	// parallel bound-join workers retry concurrently.
+	jitterMu  sync.Mutex
+	jitterRNG *rand.Rand
+
 	// Observability. obsReg is nil when disabled; the individual
 	// instruments are nil-safe so hot paths call them unconditionally
 	// (one branch inside the instrument). sourceNS maps source name to
@@ -62,6 +78,13 @@ type Federation struct {
 	cRowsOut      *obs.Counter
 	gWorkersBusy  *obs.Gauge
 	sourceNS      map[string]*obs.Histogram
+
+	// Resilience instruments (resilience.go).
+	cSourceErrors *obs.Counter
+	cRetries      *obs.Counter
+	cGiveups      *obs.Counter
+	cPartial      *obs.Counter
+	cSkips        *obs.Counter
 }
 
 type equivEdge struct {
@@ -91,6 +114,10 @@ func (f *Federation) AddSource(src Source) {
 	f.sources = append(f.sources, src)
 	if f.obsReg != nil {
 		f.sourceNS[src.Name()] = f.obsReg.Histogram("fed.source." + src.Name() + ".match_ns")
+	}
+	if f.breakers != nil {
+		f.breakers[src.Name()] = newBreaker(f.res)
+		f.bindResilienceObs()
 	}
 }
 
@@ -123,6 +150,7 @@ func (f *Federation) SetObserver(reg *obs.Registry) {
 			f.sourceNS[src.Name()] = reg.Histogram("fed.source." + src.Name() + ".match_ns")
 		}
 	}
+	f.bindResilienceObs()
 }
 
 // Sources returns the member sources.
@@ -155,22 +183,44 @@ type Answer struct {
 	Used    []linkset.Link
 }
 
+// SourceSkip records a member source that contributed nothing to a result
+// because it was unavailable (retry budget exhausted, per-call timeout, or
+// circuit breaker open).
+type SourceSkip struct {
+	Source string `json:"source"`
+	Reason string `json:"reason"`
+}
+
 // Result is a federated query result. For CONSTRUCT queries, Triples holds
 // the constructed graph (with no per-triple provenance; use SELECT when
-// feedback is intended).
+// feedback is intended). Skipped is non-empty only under
+// Resilience.PartialResults: it lists the sources that were unavailable,
+// so the answers may be incomplete.
 type Result struct {
 	Vars    []string
 	Answers []Answer
 	Triples []rdf.Triple
+	Skipped []SourceSkip
 }
+
+// Partial reports whether any member source was skipped, i.e. the answers
+// may be incomplete.
+func (r *Result) Partial() bool { return len(r.Skipped) > 0 }
 
 // Execute parses and evaluates query against the federation.
 func (f *Federation) Execute(query string) (*Result, error) {
+	return f.ExecuteContext(context.Background(), query)
+}
+
+// ExecuteContext is Execute with a context: cancellation and deadline are
+// propagated into every source call (including remote HTTP requests), so a
+// whole federated query can be bounded by one per-request timeout.
+func (f *Federation) ExecuteContext(ctx context.Context, query string) (*Result, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return f.Eval(q)
+	return f.EvalContext(ctx, q)
 }
 
 // ExecuteTrace parses and evaluates query, recording an EXPLAIN-style
@@ -179,12 +229,17 @@ func (f *Federation) Execute(query string) (*Result, error) {
 // trace is returned even when evaluation fails partway (the recorded
 // prefix is often exactly what one wants to see).
 func (f *Federation) ExecuteTrace(query string) (*Result, *obs.Trace, error) {
+	return f.ExecuteTraceContext(context.Background(), query)
+}
+
+// ExecuteTraceContext is ExecuteTrace with a context (see ExecuteContext).
+func (f *Federation) ExecuteTraceContext(ctx context.Context, query string) (*Result, *obs.Trace, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, nil, err
 	}
 	tr := obs.NewTrace("query")
-	res, err := f.EvalTrace(q, tr)
+	res, err := f.EvalTraceContext(ctx, q, tr)
 	return res, tr, err
 }
 
@@ -207,15 +262,29 @@ func (f *Federation) Eval(q *sparql.Query) (*Result, error) {
 	return f.EvalTrace(q, nil)
 }
 
+// EvalContext is Eval with a context (see ExecuteContext).
+func (f *Federation) EvalContext(ctx context.Context, q *sparql.Query) (*Result, error) {
+	return f.EvalTraceContext(ctx, q, nil)
+}
+
 // EvalTrace evaluates a parsed query, recording spans into tr (nil
 // disables tracing; metrics are still recorded when an observer is set).
 func (f *Federation) EvalTrace(q *sparql.Query, tr *obs.Trace) (*Result, error) {
+	return f.EvalTraceContext(context.Background(), q, tr)
+}
+
+// EvalTraceContext evaluates a parsed query under ctx, recording spans
+// into tr (nil disables tracing). With Resilience.PartialResults enabled,
+// skipped sources are annotated on the root span ("partial", "skipped")
+// and returned in Result.Skipped.
+func (f *Federation) EvalTraceContext(ctx context.Context, q *sparql.Query, tr *obs.Trace) (*Result, error) {
 	var t0 time.Time
 	if f.obsReg != nil {
 		t0 = time.Now()
 	}
+	es := newEvalState(ctx)
 	sp := tr.Root()
-	rows, err := f.evalPatterns(q.Patterns, []row{{b: sparql.Binding{}, used: map[linkset.Link]struct{}{}}}, sp)
+	rows, err := f.evalPatterns(es, q.Patterns, []row{{b: sparql.Binding{}, used: map[linkset.Link]struct{}{}}}, sp)
 	if err != nil {
 		tr.Finish()
 		return nil, err
@@ -225,6 +294,19 @@ func (f *Federation) EvalTrace(q *sparql.Query, tr *obs.Trace) (*Result, error) 
 	res, err := f.finalize(q, rows)
 	if err == nil {
 		fin.SetInt("out", int64(len(res.Answers)+len(res.Triples)))
+		if skips := es.skips(); len(skips) > 0 {
+			res.Skipped = skips
+			f.cPartial.Inc()
+			sp.SetInt("partial", 1)
+			names := ""
+			for i, sk := range skips {
+				if i > 0 {
+					names += ","
+				}
+				names += sk.Source
+			}
+			sp.SetStr("skipped", names)
+		}
 	}
 	fin.End()
 	tr.Finish()
@@ -415,25 +497,28 @@ func dedupeAnswers(vars []string, answers []Answer) []Answer {
 	return out
 }
 
-func (f *Federation) evalPatterns(patterns []sparql.Pattern, in []row, sp *obs.Span) ([]row, error) {
+func (f *Federation) evalPatterns(es *evalState, patterns []sparql.Pattern, in []row, sp *obs.Span) ([]row, error) {
 	rows := in
 	for _, p := range patterns {
+		if err := es.ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		stage := stageSpan(sp, p)
 		stage.SetInt("in", int64(len(rows)))
 		switch p := p.(type) {
 		case sparql.BGP:
-			rows, err = f.evalBGP(p, rows, stage)
+			rows, err = f.evalBGP(es, p, rows, stage)
 		case sparql.Filter:
 			rows = f.applyFilter(p.Expr, rows)
 		case sparql.Optional:
-			rows, err = f.evalOptional(p, rows, stage)
+			rows, err = f.evalOptional(es, p, rows, stage)
 		case sparql.Union:
-			rows, err = f.evalUnion(p, rows, stage)
+			rows, err = f.evalUnion(es, p, rows, stage)
 		case sparql.Values:
 			rows = f.evalValues(p, rows)
 		case sparql.Exists:
-			rows, err = f.evalExists(p, rows, stage)
+			rows, err = f.evalExists(es, p, rows, stage)
 		case sparql.Bind:
 			rows = f.evalBind(p, rows)
 		case sparql.PathPattern:
@@ -490,10 +575,10 @@ func (f *Federation) applyFilter(expr sparql.Expr, rows []row) []row {
 	return out
 }
 
-func (f *Federation) evalOptional(opt sparql.Optional, rows []row, sp *obs.Span) ([]row, error) {
+func (f *Federation) evalOptional(es *evalState, opt sparql.Optional, rows []row, sp *obs.Span) ([]row, error) {
 	var out []row
 	for _, r := range rows {
-		extended, err := f.evalPatterns(opt.Patterns, []row{r.clone()}, sp)
+		extended, err := f.evalPatterns(es, opt.Patterns, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -563,10 +648,10 @@ func (f *Federation) evalValues(v sparql.Values, rows []row) []row {
 // inner-group solution. The probe's link provenance is discarded: an
 // existence check constrains the answer but does not produce it, so
 // feedback on the answer should not implicate the probe's links.
-func (f *Federation) evalExists(e sparql.Exists, rows []row, sp *obs.Span) ([]row, error) {
+func (f *Federation) evalExists(es *evalState, e sparql.Exists, rows []row, sp *obs.Span) ([]row, error) {
 	out := rows[:0]
 	for _, r := range rows {
-		matches, err := f.evalPatterns(e.Patterns, []row{r.clone()}, sp)
+		matches, err := f.evalPatterns(es, e.Patterns, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -577,14 +662,14 @@ func (f *Federation) evalExists(e sparql.Exists, rows []row, sp *obs.Span) ([]ro
 	return out, nil
 }
 
-func (f *Federation) evalUnion(u sparql.Union, rows []row, sp *obs.Span) ([]row, error) {
+func (f *Federation) evalUnion(es *evalState, u sparql.Union, rows []row, sp *obs.Span) ([]row, error) {
 	var out []row
 	for _, r := range rows {
-		left, err := f.evalPatterns(u.Left, []row{r.clone()}, sp)
+		left, err := f.evalPatterns(es, u.Left, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
-		right, err := f.evalPatterns(u.Right, []row{r.clone()}, sp)
+		right, err := f.evalPatterns(es, u.Right, []row{r.clone()}, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -599,8 +684,12 @@ func (f *Federation) evalUnion(u sparql.Union, rows []row, sp *obs.Span) ([]row,
 // order chosen by the selectivity-based optimizer (optimize.go); within a
 // pattern, rows are processed by SetParallelism workers (FedX's "bound
 // joins in parallel"), preserving row order.
-func (f *Federation) evalBGP(bgp sparql.BGP, rows []row, sp *obs.Span) ([]row, error) {
-	for _, pp := range f.planBGP(bgp, boundVarsOf(rows)) {
+func (f *Federation) evalBGP(es *evalState, bgp sparql.BGP, rows []row, sp *obs.Span) ([]row, error) {
+	plan, err := f.planBGP(es, bgp, boundVarsOf(rows))
+	if err != nil {
+		return nil, err
+	}
+	for _, pp := range plan {
 		var psp *obs.Span
 		if sp != nil {
 			psp = sp.Child("pattern")
@@ -611,7 +700,7 @@ func (f *Federation) evalBGP(bgp sparql.BGP, rows []row, sp *obs.Span) ([]row, e
 			}
 			psp.SetInt("in", int64(len(rows)))
 		}
-		next, err := f.extendRows(pp, rows, psp)
+		next, err := f.extendRows(es, pp, rows, psp)
 		if err != nil {
 			psp.End()
 			return nil, err
@@ -640,14 +729,17 @@ func sourceNames(sources []Source) string {
 
 // extendRows applies one planned pattern to every row, in parallel when
 // configured. Results keep the input row order for determinism.
-func (f *Federation) extendRows(pp plannedPattern, rows []row, psp *obs.Span) ([]row, error) {
+func (f *Federation) extendRows(es *evalState, pp plannedPattern, rows []row, psp *obs.Span) ([]row, error) {
 	f.cBatches.Inc()
 	f.hBatchRows.Observe(int64(len(rows)))
 	workers := f.parallel
 	if workers <= 1 || len(rows) < 2*workers {
 		var next []row
 		for _, r := range rows {
-			matched, err := f.matchAcross(pp.sources, pp.tp, r, psp)
+			if err := es.ctx.Err(); err != nil {
+				return nil, err
+			}
+			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, psp)
 			if err != nil {
 				return nil, err
 			}
@@ -671,7 +763,7 @@ func (f *Federation) extendRows(pp plannedPattern, rows []row, psp *obs.Span) ([
 			defer func() { <-sem }()
 			f.gWorkersBusy.Add(1)
 			defer f.gWorkersBusy.Add(-1)
-			matched, err := f.matchAcross(pp.sources, pp.tp, r, psp)
+			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, psp)
 			results[i] = chunk{rows: matched, err: err}
 		}(i, r)
 	}
@@ -700,54 +792,105 @@ func (f *Federation) SetParallelism(workers int) {
 // selectSources picks the sources that can possibly answer a pattern,
 // using a predicate-presence probe (FedX's ASK-based source selection).
 // Patterns with a variable predicate go to every source. Probe errors from
-// remote sources conservatively keep the source selected.
-func (f *Federation) selectSources(tp sparql.TriplePattern) []Source {
-	if tp.P.IsVar() {
-		return f.sources
-	}
+// remote sources conservatively keep the source selected — the later
+// bound-join call will surface (or degrade) the failure. Sources whose
+// circuit breaker is open, or that were already skipped earlier in this
+// query, are ejected up front.
+func (f *Federation) selectSources(es *evalState, tp sparql.TriplePattern) ([]Source, error) {
 	var out []Source
 	for _, src := range f.sources {
+		if f.resOn {
+			if es.isSkipped(src.Name()) {
+				continue
+			}
+			if !f.breakers[src.Name()].allow() {
+				err := f.degrade(es, src, &SourceUnavailableError{Source: src.Name(), Err: ErrCircuitOpen})
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if tp.P.IsVar() {
+			out = append(out, src)
+			continue
+		}
 		f.cSourceProbes.Inc()
-		has, err := src.HasPredicate(tp.P.Term)
+		has, err := f.hasPredicate(es, src, tp.P.Term)
 		if err != nil || has {
 			out = append(out, src)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// hasPredicate is src.HasPredicate under the fault-tolerance policy: the
+// ASK probe gets the same timeout/retry/breaker treatment as bound joins.
+func (f *Federation) hasPredicate(es *evalState, src Source, pred rdf.Term) (bool, error) {
+	var has bool
+	err := f.callSource(es.ctx, src, func(ctx context.Context) error {
+		var err error
+		has, err = src.HasPredicate(ctx, pred)
+		return err
+	})
+	return has, err
 }
 
 // matchAcross extends one row through one pattern over the selected
 // sources, applying sameAs rewriting to bound subject/object entity terms.
-func (f *Federation) matchAcross(sources []Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
+// Under Resilience.PartialResults a source that fails past its retry
+// budget is skipped for the remainder of the query instead of failing it.
+func (f *Federation) matchAcross(es *evalState, sources []Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
 	var out []row
 	for _, src := range sources {
+		if f.resOn && es.isSkipped(src.Name()) {
+			continue
+		}
 		// Direct match, no link used.
-		bs, err := f.timedMatch(src, tp, r.b)
+		bs, err := f.timedMatch(es, src, tp, r.b)
 		if err != nil {
-			return nil, err
+			if err = f.degrade(es, src, err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		for _, b := range bs {
 			nr := row{b: b, used: r.used}
 			out = append(out, nr.clone())
 		}
 		// sameAs-rewritten matches for bound subject and object.
-		rewritten, err := f.rewrittenMatches(src, tp, r, psp)
+		rewritten, err := f.rewrittenMatches(es, src, tp, r, psp)
 		if err != nil {
-			return nil, err
+			if err = f.degrade(es, src, err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		out = append(out, rewritten...)
 	}
 	return out, nil
 }
 
-// timedMatch is src.Match plus the per-source latency histogram. The
-// clock is only read when an observer is attached.
-func (f *Federation) timedMatch(src Source, tp sparql.TriplePattern, b sparql.Binding) ([]sparql.Binding, error) {
+// timedMatch is src.Match under the fault-tolerance policy (callSource)
+// plus the per-source latency histogram. The clock is only read when an
+// observer is attached.
+func (f *Federation) timedMatch(es *evalState, src Source, tp sparql.TriplePattern, b sparql.Binding) ([]sparql.Binding, error) {
+	if !f.resOn && f.obsReg == nil {
+		// Fast path: no policy and no observer means no retry loop and no
+		// timing, so skip the closure the retry machinery needs.
+		return src.Match(es.ctx, tp, b)
+	}
+	var bs []sparql.Binding
+	match := func(ctx context.Context) error {
+		var err error
+		bs, err = src.Match(ctx, tp, b)
+		return err
+	}
 	if f.obsReg == nil {
-		return src.Match(tp, b)
+		return bs, f.callSource(es.ctx, src, match)
 	}
 	t0 := time.Now()
-	bs, err := src.Match(tp, b)
+	err := f.callSource(es.ctx, src, match)
 	if h := f.sourceNS[src.Name()]; h != nil {
 		h.Observe(time.Since(t0).Nanoseconds())
 	}
@@ -756,7 +899,7 @@ func (f *Federation) timedMatch(src Source, tp sparql.TriplePattern, b sparql.Bi
 
 // rewrittenMatches substitutes sameAs-equivalent entities for the bound
 // subject and/or object of the pattern and records the links used.
-func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
+func (f *Federation) rewrittenMatches(es *evalState, src Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
 	var out []row
 	trySubst := func(pos int, orig rdf.Term, edge equivEdge) error {
 		substTerm := f.dict.Term(edge.to)
@@ -773,7 +916,7 @@ func (f *Federation) rewrittenMatches(src Source, tp sparql.TriplePattern, r row
 		// Match the rewritten pattern; the variable keeps its ORIGINAL
 		// binding (the user sees one entity; the link supplied the alias).
 		f.cRewrites.Inc()
-		bs, err := f.timedMatch(src, np, r.b)
+		bs, err := f.timedMatch(es, src, np, r.b)
 		if err != nil {
 			return err
 		}

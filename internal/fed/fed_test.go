@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"context"
 	"testing"
 
 	"alex/internal/linkset"
@@ -230,21 +231,25 @@ func TestSelectSources(t *testing.T) {
 		P: sparql.TermNode(rdf.NewIRI(nyo + "about")),
 		O: sparql.VarNode("w"),
 	}
-	srcs := f.selectSources(aboutPattern)
+	es := newEvalState(context.Background())
+	srcs, err := f.selectSources(es, aboutPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(srcs) != 1 || srcs[0].Name() != "nytimes" {
 		t.Errorf("sources for nyt:about = %v", names(srcs))
 	}
 	varPred := sparql.TriplePattern{S: sparql.VarNode("s"), P: sparql.VarNode("p"), O: sparql.VarNode("o")}
-	if got := f.selectSources(varPred); len(got) != 2 {
-		t.Errorf("sources for variable predicate = %d, want 2", len(got))
+	if got, err := f.selectSources(es, varPred); err != nil || len(got) != 2 {
+		t.Errorf("sources for variable predicate = %d (err %v), want 2", len(got), err)
 	}
 	unknown := sparql.TriplePattern{
 		S: sparql.VarNode("s"),
 		P: sparql.TermNode(rdf.NewIRI("http://never/seen")),
 		O: sparql.VarNode("o"),
 	}
-	if got := f.selectSources(unknown); len(got) != 0 {
-		t.Errorf("sources for unknown predicate = %d, want 0", len(got))
+	if got, err := f.selectSources(es, unknown); err != nil || len(got) != 0 {
+		t.Errorf("sources for unknown predicate = %d (err %v), want 0", len(got), err)
 	}
 }
 

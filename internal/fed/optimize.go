@@ -1,6 +1,9 @@
 package fed
 
 import (
+	"context"
+
+	"alex/internal/rdf"
 	"alex/internal/sparql"
 )
 
@@ -25,10 +28,13 @@ type plannedPattern struct {
 // pick the cheapest pattern given what is bound so far, then mark its
 // variables bound. This is the classic variable-counting heuristic FedX
 // uses; it needs no data statistics beyond predicate counts.
-func (f *Federation) planBGP(bgp sparql.BGP, bound map[string]bool) []plannedPattern {
+func (f *Federation) planBGP(es *evalState, bgp sparql.BGP, bound map[string]bool) ([]plannedPattern, error) {
 	remaining := make([]plannedPattern, 0, len(bgp.Triples))
 	for _, tp := range bgp.Triples {
-		src := f.selectSources(tp)
+		src, err := f.selectSources(es, tp)
+		if err != nil {
+			return nil, err
+		}
 		remaining = append(remaining, plannedPattern{
 			tp:        tp,
 			sources:   src,
@@ -36,7 +42,7 @@ func (f *Federation) planBGP(bgp sparql.BGP, bound map[string]bool) []plannedPat
 		})
 	}
 	if !f.reorder {
-		return remaining
+		return remaining, nil
 	}
 	boundVars := make(map[string]bool, len(bound))
 	for v := range bound {
@@ -45,9 +51,9 @@ func (f *Federation) planBGP(bgp sparql.BGP, bound map[string]bool) []plannedPat
 	ordered := make([]plannedPattern, 0, len(remaining))
 	for len(remaining) > 0 {
 		bestIdx := 0
-		bestCost := f.estimateCost(remaining[0], boundVars)
+		bestCost := f.estimateCost(es, remaining[0], boundVars)
 		for i := 1; i < len(remaining); i++ {
-			if c := f.estimateCost(remaining[i], boundVars); c < bestCost {
+			if c := f.estimateCost(es, remaining[i], boundVars); c < bestCost {
 				bestCost, bestIdx = c, i
 			}
 		}
@@ -58,7 +64,7 @@ func (f *Federation) planBGP(bgp sparql.BGP, bound map[string]bool) []plannedPat
 			boundVars[v] = true
 		}
 	}
-	return ordered
+	return ordered, nil
 }
 
 // estimateCost scores a pattern given the currently bound variables: lower
@@ -66,11 +72,11 @@ func (f *Federation) planBGP(bgp sparql.BGP, bound map[string]bool) []plannedPat
 // predicate across its sources (or all triples for a variable predicate),
 // discounted heavily for a bound subject and moderately for a bound object,
 // with a penalty per candidate source.
-func (f *Federation) estimateCost(p plannedPattern, bound map[string]bool) float64 {
+func (f *Federation) estimateCost(es *evalState, p plannedPattern, bound map[string]bool) float64 {
 	base := 0.0
 	if !p.tp.P.IsVar() {
 		for _, src := range p.sources {
-			n, err := src.PredicateCount(p.tp.P.Term)
+			n, err := f.predicateCount(es, src, p.tp.P.Term)
 			if err != nil {
 				// Remote estimate unavailable: assume expensive.
 				n = 1 << 20
@@ -79,7 +85,7 @@ func (f *Federation) estimateCost(p plannedPattern, bound map[string]bool) float
 		}
 	} else {
 		for _, src := range p.sources {
-			n, err := src.Size()
+			n, err := f.sourceSize(es, src)
 			if err != nil {
 				n = 1 << 20
 			}
@@ -104,6 +110,30 @@ func (f *Federation) estimateCost(p plannedPattern, bound map[string]bool) float
 	// Multiple sources multiply the bound-join fan-out.
 	base *= float64(len(p.sources))
 	return base
+}
+
+// predicateCount and sourceSize are the cost model's COUNT probes under
+// the fault-tolerance policy (retries, timeouts, breaker accounting); on
+// a healthy passthrough they are plain source calls.
+
+func (f *Federation) predicateCount(es *evalState, src Source, pred rdf.Term) (int, error) {
+	var n int
+	err := f.callSource(es.ctx, src, func(ctx context.Context) error {
+		var err error
+		n, err = src.PredicateCount(ctx, pred)
+		return err
+	})
+	return n, err
+}
+
+func (f *Federation) sourceSize(es *evalState, src Source) (int, error) {
+	var n int
+	err := f.callSource(es.ctx, src, func(ctx context.Context) error {
+		var err error
+		n, err = src.Size(ctx)
+		return err
+	})
+	return n, err
 }
 
 // boundVarsOf extracts the variables already bound in any current row.
@@ -136,7 +166,10 @@ func (f *Federation) PlanDescription(query string) ([]string, error) {
 		if !ok {
 			continue
 		}
-		plan := f.planBGP(bgp, map[string]bool{})
+		plan, err := f.planBGP(newEvalState(context.Background()), bgp, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
 		out := make([]string, len(plan))
 		for i, pp := range plan {
 			names := ""

@@ -1,6 +1,8 @@
 package fed
 
 import (
+	"context"
+
 	"alex/internal/endpoint"
 	"alex/internal/obs"
 	"alex/internal/rdf"
@@ -12,20 +14,23 @@ import (
 // in-process implementation wraps a store; the remote implementation wraps
 // an HTTP SPARQL endpoint (internal/endpoint), turning the federation into
 // the distributed setting the paper's architecture assumes.
+// Every method takes a context so per-query deadlines and cancellation
+// reach the wire (remote sources issue HTTP requests); in-process sources
+// may ignore it.
 type Source interface {
 	// Name identifies the source in plans and diagnostics.
 	Name() string
 	// HasPredicate reports whether the source can answer patterns with
 	// the predicate — FedX's ASK-style source-selection probe.
-	HasPredicate(pred rdf.Term) (bool, error)
+	HasPredicate(ctx context.Context, pred rdf.Term) (bool, error)
 	// PredicateCount estimates the number of triples carrying the
 	// predicate, for the join optimizer's cost model.
-	PredicateCount(pred rdf.Term) (int, error)
+	PredicateCount(ctx context.Context, pred rdf.Term) (int, error)
 	// Size is the source's total triple count.
-	Size() (int, error)
+	Size(ctx context.Context) (int, error)
 	// Match extends binding through one triple pattern, returning the
 	// extended bindings.
-	Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error)
+	Match(ctx context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error)
 }
 
 // localSource adapts an in-process store.
@@ -38,7 +43,7 @@ func LocalSource(st *store.Store) Source { return localSource{st: st} }
 
 func (s localSource) Name() string { return s.st.Name() }
 
-func (s localSource) HasPredicate(pred rdf.Term) (bool, error) {
+func (s localSource) HasPredicate(_ context.Context, pred rdf.Term) (bool, error) {
 	id, ok := s.st.Dict().Lookup(pred)
 	if !ok {
 		return false, nil
@@ -46,7 +51,7 @@ func (s localSource) HasPredicate(pred rdf.Term) (bool, error) {
 	return s.st.HasPredicate(id), nil
 }
 
-func (s localSource) PredicateCount(pred rdf.Term) (int, error) {
+func (s localSource) PredicateCount(_ context.Context, pred rdf.Term) (int, error) {
 	id, ok := s.st.Dict().Lookup(pred)
 	if !ok {
 		return 0, nil
@@ -54,9 +59,9 @@ func (s localSource) PredicateCount(pred rdf.Term) (int, error) {
 	return s.st.PredicateCount(id), nil
 }
 
-func (s localSource) Size() (int, error) { return s.st.Len(), nil }
+func (s localSource) Size(context.Context) (int, error) { return s.st.Len(), nil }
 
-func (s localSource) Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+func (s localSource) Match(_ context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
 	return sparql.MatchPattern(s.st, tp, binding), nil
 }
 
@@ -65,12 +70,12 @@ func (s localSource) Match(tp sparql.TriplePattern, binding sparql.Binding) ([]s
 // endpoint.NewQueryHandler — hierarchical federation. Link provenance is
 // not representable in the SPARQL results format and is dropped.
 func EndpointQueryFunc(f *Federation) endpoint.QueryFunc {
-	return func(query string) (*endpoint.Result, error) {
+	return func(ctx context.Context, query string) (*endpoint.Result, error) {
 		q, err := sparql.Parse(query)
 		if err != nil {
 			return nil, &endpoint.BadQueryError{Err: err}
 		}
-		res, err := f.Eval(q)
+		res, err := f.EvalContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -92,13 +97,13 @@ func EndpointQueryFunc(f *Federation) endpoint.QueryFunc {
 // the /debug/trace route of a served federation (see EndpointQueryFunc for
 // the plain query adapter).
 func EndpointTraceFunc(f *Federation) endpoint.TraceFunc {
-	return func(query string) (*endpoint.Result, *obs.Trace, error) {
+	return func(ctx context.Context, query string) (*endpoint.Result, *obs.Trace, error) {
 		q, err := sparql.Parse(query)
 		if err != nil {
 			return nil, nil, &endpoint.BadQueryError{Err: err}
 		}
 		tr := obs.NewTrace("query")
-		res, err := f.EvalTrace(q, tr)
+		res, err := f.EvalTraceContext(ctx, q, tr)
 		if err != nil {
 			return nil, tr, err
 		}
@@ -126,16 +131,16 @@ func RemoteSource(c *endpoint.Client) Source { return remoteSource{c: c} }
 
 func (s remoteSource) Name() string { return s.c.Name() }
 
-func (s remoteSource) HasPredicate(pred rdf.Term) (bool, error) {
-	return s.c.HasPredicate(pred)
+func (s remoteSource) HasPredicate(ctx context.Context, pred rdf.Term) (bool, error) {
+	return s.c.HasPredicateContext(ctx, pred)
 }
 
-func (s remoteSource) PredicateCount(pred rdf.Term) (int, error) {
-	return s.c.PredicateCount(pred)
+func (s remoteSource) PredicateCount(ctx context.Context, pred rdf.Term) (int, error) {
+	return s.c.PredicateCountContext(ctx, pred)
 }
 
-func (s remoteSource) Size() (int, error) { return s.c.Size() }
+func (s remoteSource) Size(ctx context.Context) (int, error) { return s.c.SizeContext(ctx) }
 
-func (s remoteSource) Match(tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
-	return s.c.MatchPattern(tp, binding)
+func (s remoteSource) Match(ctx context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
+	return s.c.MatchPatternContext(ctx, tp, binding)
 }

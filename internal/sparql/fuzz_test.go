@@ -1,6 +1,9 @@
 package sparql
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func FuzzParse(f *testing.F) {
 	seeds := []string{
@@ -17,5 +20,53 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, in string) {
 		// The parser must never panic on arbitrary input.
 		_, _ = Parse(in)
+	})
+}
+
+// FuzzTokenize drives the lexer directly: on any input it must terminate,
+// never panic, and only advance. Token text must come from the input and
+// positions must be in-bounds, so error offsets in SyntaxError are usable.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o }`,
+		`?x <http://iri/with#frag> "str\"esc" 'single' 12.5 .`,
+		`"lang"@en-US "typed"^^xsd:int ^^ @`,
+		`# comment to end
+a ; , * ( ) { } <`,
+		`prefix:local ?v1 !  <= >= != && || "unterminated`,
+		"\"é\U0001F600\" ?ümlaut",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		l := &lexer{in: in}
+		prev := -1
+		for steps := 0; ; steps++ {
+			if steps > len(in)+1 {
+				t.Fatalf("lexer failed to terminate on %q", in)
+			}
+			tok, err := l.next()
+			if err != nil {
+				var se *SyntaxError
+				if !errors.As(err, &se) {
+					t.Fatalf("non-SyntaxError from lexer: %v", err)
+				}
+				if se.Pos < 0 || se.Pos > len(in) {
+					t.Fatalf("error offset %d outside input of length %d", se.Pos, len(in))
+				}
+				return
+			}
+			if tok.kind == tokEOF {
+				return
+			}
+			if tok.pos <= prev {
+				t.Fatalf("lexer did not advance: token %v at pos %d after pos %d", tok, tok.pos, prev)
+			}
+			prev = tok.pos
+			if tok.pos < 0 || tok.pos > len(in) {
+				t.Fatalf("token position %d outside input of length %d", tok.pos, len(in))
+			}
+		}
 	})
 }
