@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench fuzz cover fmt vet check
+.PHONY: build test test-short race bench fuzz cover fmt vet lint check
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/...
+	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/... ./internal/experiment/...
 
 fuzz:
 	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzNTriples$$' -fuzztime 10s
@@ -35,4 +35,8 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# The repo's own static-analysis suite (internal/lint, cmd/alexvet).
+lint:
+	$(GO) run ./cmd/alexvet ./...
+
+check: build vet lint test race

@@ -88,17 +88,17 @@ func (e *Engine) Config() Config { return e.cfg }
 // retrievable via reg.Traces().
 func (e *Engine) SetObserver(reg *obs.Registry) {
 	e.obsReg = reg
-	e.hEpisodeNS = reg.Histogram("core.episode_ns")
-	e.gCandidates = reg.Gauge("core.candidates")
+	e.hEpisodeNS = reg.Histogram(obs.CoreEpisodeNS)
+	e.gCandidates = reg.Gauge(obs.CoreCandidates)
 	o := &engineObs{
-		cPos:          reg.Counter("core.feedback.positive"),
-		cNeg:          reg.Counter("core.feedback.negative"),
-		cAdds:         reg.Counter("core.links.added"),
-		cRemoves:      reg.Counter("core.links.removed"),
-		cExplorations: reg.Counter("core.explorations"),
-		cRollbacks:    reg.Counter("core.rollbacks"),
-		cPickGreedy:   reg.Counter("core.pick.greedy"),
-		cPickExplore:  reg.Counter("core.pick.explore"),
+		cPos:          reg.Counter(obs.CoreFeedbackPositive),
+		cNeg:          reg.Counter(obs.CoreFeedbackNegative),
+		cAdds:         reg.Counter(obs.CoreLinksAdded),
+		cRemoves:      reg.Counter(obs.CoreLinksRemoved),
+		cExplorations: reg.Counter(obs.CoreExplorations),
+		cRollbacks:    reg.Counter(obs.CoreRollbacks),
+		cPickGreedy:   reg.Counter(obs.CorePickGreedy),
+		cPickExplore:  reg.Counter(obs.CorePickExplore),
 	}
 	for _, p := range e.partitions {
 		p.obs = o

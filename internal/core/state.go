@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"alex/internal/feature"
 	"alex/internal/linkset"
@@ -116,12 +117,48 @@ func (e *Engine) SaveState(w io.Writer) error {
 		for s, a := range p.policy.GreedyEntries() {
 			ps.Greedy = append(ps.Greedy, wireGreedy{S: wl(s), A: wf(a)})
 		}
+		sortPartitionState(&ps)
 		st.Partitions = append(st.Partitions, ps)
 	}
 	if err := gob.NewEncoder(w).Encode(st); err != nil {
 		return fmt.Errorf("core: saving engine state: %w", err)
 	}
 	return nil
+}
+
+// sortPartitionState orders every wire slice, which otherwise inherits map
+// iteration order: two snapshots of the same engine state must be
+// byte-identical so checkpoints can be compared, deduplicated and tested
+// against golden files.
+func sortPartitionState(ps *partitionState) {
+	linkKey := func(l wireLink) string { return l.Left + "\x00" + l.Right }
+	featKey := func(f wireFeature) string { return f.P1 + "\x00" + f.P2 }
+	sort.Slice(ps.Candidates, func(i, j int) bool { return linkKey(ps.Candidates[i]) < linkKey(ps.Candidates[j]) })
+	sort.Slice(ps.Blacklist, func(i, j int) bool { return linkKey(ps.Blacklist[i]) < linkKey(ps.Blacklist[j]) })
+	sort.Slice(ps.NegByLink, func(i, j int) bool { return linkKey(ps.NegByLink[i].L) < linkKey(ps.NegByLink[j].L) })
+	sort.Slice(ps.PosConfirmed, func(i, j int) bool { return linkKey(ps.PosConfirmed[i]) < linkKey(ps.PosConfirmed[j]) })
+	sort.Slice(ps.RolledBack, func(i, j int) bool {
+		a, b := ps.RolledBack[i], ps.RolledBack[j]
+		if k1, k2 := linkKey(a.S), linkKey(b.S); k1 != k2 {
+			return k1 < k2
+		}
+		return featKey(a.A) < featKey(b.A)
+	})
+	sort.Slice(ps.Q, func(i, j int) bool {
+		a, b := ps.Q[i], ps.Q[j]
+		if k1, k2 := linkKey(a.S), linkKey(b.S); k1 != k2 {
+			return k1 < k2
+		}
+		return featKey(a.A) < featKey(b.A)
+	})
+	sort.Slice(ps.FQ, func(i, j int) bool {
+		a, b := ps.FQ[i], ps.FQ[j]
+		if k1, k2 := featKey(a.A), featKey(b.A); k1 != k2 {
+			return k1 < k2
+		}
+		return a.Bucket < b.Bucket
+	})
+	sort.Slice(ps.Greedy, func(i, j int) bool { return linkKey(ps.Greedy[i].S) < linkKey(ps.Greedy[j].S) })
 }
 
 // LoadState restores state saved by SaveState into an engine built over

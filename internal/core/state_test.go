@@ -58,6 +58,29 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveStateDeterministicBytes(t *testing.T) {
+	// Regression: the wire slices are collected from maps, so without the
+	// explicit sort in sortPartitionState two snapshots of the same state
+	// would differ byte-for-byte run to run.
+	p := testPair(53)
+	e := New(p.DS1, p.DS2, smallConfig(53))
+	e.SetInitialLinks(initialLinks(p))
+	oracle := feedback.NewOracle(p.Truth, 0, rand.New(rand.NewSource(53)))
+	for i := 0; i < 3; i++ {
+		e.RunEpisode(oracle.JudgeFunc())
+	}
+	var a, b bytes.Buffer
+	if err := e.SaveState(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveState(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two SaveState snapshots of the same engine differ byte-for-byte")
+	}
+}
+
 func TestLoadedEngineContinuesLearning(t *testing.T) {
 	p := testPair(59)
 	e := New(p.DS1, p.DS2, smallConfig(59))

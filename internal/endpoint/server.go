@@ -94,8 +94,8 @@ func NewQueryHandler(query QueryFunc, stats func() map[string]any) *Handler {
 // also backs /metrics. Call before serving.
 func (h *Handler) SetObserver(reg *obs.Registry) {
 	h.obsReg = reg
-	h.cRequests = reg.Counter("endpoint.requests")
-	h.hRequestNS = reg.Histogram("endpoint.request_ns")
+	h.cRequests = reg.Counter(obs.EndpointRequests)
+	h.hRequestNS = reg.Histogram(obs.EndpointRequestNS)
 }
 
 // SetTraceFunc enables /debug/trace: each request there is answered by fn
@@ -162,7 +162,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	h.serveQuery(sw, r)
 	h.hRequestNS.Observe(time.Since(t0).Nanoseconds())
-	h.obsReg.Counter(fmt.Sprintf("endpoint.status.%d", sw.status)).Inc()
+	h.obsReg.Counter(obs.EndpointStatus(sw.status)).Inc()
 }
 
 // statusWriter captures the response status for the per-code counters.

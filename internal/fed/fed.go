@@ -113,7 +113,7 @@ func New(dict *rdf.Dict, stores ...*store.Store) *Federation {
 func (f *Federation) AddSource(src Source) {
 	f.sources = append(f.sources, src)
 	if f.obsReg != nil {
-		f.sourceNS[src.Name()] = f.obsReg.Histogram("fed.source." + src.Name() + ".match_ns")
+		f.sourceNS[src.Name()] = f.obsReg.Histogram(obs.FedSourceMatchNS(src.Name()))
 	}
 	if f.breakers != nil {
 		f.breakers[src.Name()] = newBreaker(f.res)
@@ -134,20 +134,20 @@ func (f *Federation) AddSource(src Source) {
 // detaches. Not safe to call concurrently with query evaluation.
 func (f *Federation) SetObserver(reg *obs.Registry) {
 	f.obsReg = reg
-	f.cQueries = reg.Counter("fed.queries")
-	f.hQueryNS = reg.Histogram("fed.query_ns")
-	f.cSourceProbes = reg.Counter("fed.source_probes")
-	f.cRewrites = reg.Counter("fed.sameas.rewrites")
-	f.cRewriteRows = reg.Counter("fed.sameas.rows")
-	f.cBatches = reg.Counter("fed.boundjoin.batches")
-	f.hBatchRows = reg.Histogram("fed.boundjoin.rows")
-	f.cRowsOut = reg.Counter("fed.rows")
-	f.gWorkersBusy = reg.Gauge("fed.workers_busy")
+	f.cQueries = reg.Counter(obs.FedQueries)
+	f.hQueryNS = reg.Histogram(obs.FedQueryNS)
+	f.cSourceProbes = reg.Counter(obs.FedSourceProbes)
+	f.cRewrites = reg.Counter(obs.FedSameasRewrites)
+	f.cRewriteRows = reg.Counter(obs.FedSameasRows)
+	f.cBatches = reg.Counter(obs.FedBoundJoinBatches)
+	f.hBatchRows = reg.Histogram(obs.FedBoundJoinRows)
+	f.cRowsOut = reg.Counter(obs.FedRows)
+	f.gWorkersBusy = reg.Gauge(obs.FedWorkersBusy)
 	f.sourceNS = nil
 	if reg != nil {
 		f.sourceNS = make(map[string]*obs.Histogram, len(f.sources))
 		for _, src := range f.sources {
-			f.sourceNS[src.Name()] = reg.Histogram("fed.source." + src.Name() + ".match_ns")
+			f.sourceNS[src.Name()] = reg.Histogram(obs.FedSourceMatchNS(src.Name()))
 		}
 	}
 	f.bindResilienceObs()

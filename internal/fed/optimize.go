@@ -157,6 +157,13 @@ func (f *Federation) EnableReorder() { f.reorder = true }
 // PlanDescription reports, for diagnostics and tests, the evaluation order
 // and per-pattern source names the optimizer chose for a query's first BGP.
 func (f *Federation) PlanDescription(query string) ([]string, error) {
+	return f.PlanDescriptionContext(context.Background(), query)
+}
+
+// PlanDescriptionContext is PlanDescription with a caller-supplied context
+// bounding the cost-model probes (ASK/COUNT against remote sources) that
+// planning can issue.
+func (f *Federation) PlanDescriptionContext(ctx context.Context, query string) ([]string, error) {
 	q, err := sparql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -166,7 +173,7 @@ func (f *Federation) PlanDescription(query string) ([]string, error) {
 		if !ok {
 			continue
 		}
-		plan, err := f.planBGP(newEvalState(context.Background()), bgp, map[string]bool{})
+		plan, err := f.planBGP(newEvalState(ctx), bgp, map[string]bool{})
 		if err != nil {
 			return nil, err
 		}

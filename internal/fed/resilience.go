@@ -249,16 +249,16 @@ func (f *Federation) BreakerState(source string) int {
 // bindResilienceObs (re)binds the resilience instruments to the current
 // registry; nil-safe on a detached registry.
 func (f *Federation) bindResilienceObs() {
-	f.cSourceErrors = f.obsReg.Counter("fed.source_errors")
-	f.cRetries = f.obsReg.Counter("fed.retries")
-	f.cGiveups = f.obsReg.Counter("fed.retry_giveups")
-	f.cPartial = f.obsReg.Counter("fed.partial_queries")
-	f.cSkips = f.obsReg.Counter("fed.skipped_sources")
-	cOpens := f.obsReg.Counter("fed.breaker_opens")
+	f.cSourceErrors = f.obsReg.Counter(obs.FedSourceErrors)
+	f.cRetries = f.obsReg.Counter(obs.FedRetries)
+	f.cGiveups = f.obsReg.Counter(obs.FedRetryGiveups)
+	f.cPartial = f.obsReg.Counter(obs.FedPartialQueries)
+	f.cSkips = f.obsReg.Counter(obs.FedSkippedSources)
+	cOpens := f.obsReg.Counter(obs.FedBreakerOpens)
 	for name, br := range f.breakers {
 		br.mu.Lock()
 		br.cOpens = cOpens
-		br.gState = f.obsReg.Gauge("fed.breaker." + name + ".state")
+		br.gState = f.obsReg.Gauge(obs.FedBreakerState(name))
 		br.gState.Set(int64(br.state))
 		br.mu.Unlock()
 	}

@@ -1,0 +1,24 @@
+package lint
+
+// DefaultAnalyzers returns the repository's analyzer suite configured for
+// a module rooted at modulePath (normally "alex"): the obs name registry
+// guards modulePath/internal/obs, and the determinism policy covers the
+// packages the paper's figures are reproduced from — RL, similarity,
+// experiment harness, data generation and fault injection, where every
+// random draw must come from an explicit seed.
+func DefaultAnalyzers(modulePath string) []Analyzer {
+	internal := func(p string) string { return modulePath + "/internal/" + p }
+	return []Analyzer{
+		&ObsNames{ObsPath: internal("obs")},
+		&CtxFlow{},
+		&NoDeterminism{Packages: []string{
+			internal("rl"),
+			internal("sim"),
+			internal("experiment"),
+			internal("datagen"),
+			internal("faultinject"),
+		}},
+		&ErrWrap{},
+		&NoPanic{},
+	}
+}

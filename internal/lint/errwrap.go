@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces error-wrapping discipline: fmt.Errorf with an error
+// argument must wrap it with %w (so errors.Is/As keep working through the
+// added context), and errors must not be re-stringified with err.Error()
+// when building a new error (which destroys the chain entirely).
+type ErrWrap struct{}
+
+func (a *ErrWrap) Name() string { return "errwrap" }
+
+func (a *ErrWrap) Doc() string {
+	return "fmt.Errorf with an error argument must use %w; no err.Error() re-stringification in new errors"
+}
+
+func (a *ErrWrap) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case calleeIs(pass, call, "fmt", "Errorf"):
+				a.checkErrorf(pass, call)
+				a.checkRestringify(pass, call.Args)
+			case calleeIs(pass, call, "errors", "New"):
+				a.checkRestringify(pass, call.Args)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error value without a
+// %w verb in a constant format string.
+func (a *ErrWrap) checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t, ok := pass.Pkg.Info.Types[arg]; ok && isErrorType(t.Type) {
+			pass.Reportf(arg.Pos(),
+				"error argument %s formatted without %%w: wrap it so errors.Is/As see the chain",
+				types.ExprString(arg))
+		}
+	}
+}
+
+// checkRestringify flags err.Error() used as an argument when
+// constructing a new error.
+func (a *ErrWrap) checkRestringify(pass *Pass, args []ast.Expr) {
+	for _, arg := range args {
+		call, ok := unparen(arg).(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			continue
+		}
+		if t, ok := pass.Pkg.Info.Types[sel.X]; ok && isErrorType(t.Type) {
+			pass.Reportf(arg.Pos(),
+				"%s re-stringifies the error: pass the error itself (wrapped with %%w)",
+				types.ExprString(arg))
+		}
+	}
+}
+
+// calleeIs reports whether call invokes pkgPath.fnName (a package-level
+// function).
+func calleeIs(pass *Pass, call *ast.CallExpr, pkgPath, fnName string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == fnName
+}
+
+// constantString returns the constant string value of e, if it has one.
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	t, ok := pass.Pkg.Info.Types[e]
+	if !ok || t.Value == nil || t.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(t.Value), true
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markerLines maps each panic marker in the ignore fixture to its
+// 1-based line number, so the assertions survive fixture edits.
+func markerLines(t *testing.T, path string) map[string]int {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make(map[string]int)
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, marker := range []string{
+			"suppressedAbove", "suppressedTrailing", "suppressedStar",
+			"wrongAnalyzer", "missingReason",
+		} {
+			if strings.Contains(line, `panic("`+marker+`")`) {
+				lines[marker] = i + 1
+			}
+		}
+	}
+	return lines
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	prog := loadFixture(t, "ignore")
+	diags := Run(prog, []Analyzer{&NoPanic{}})
+
+	fixture := filepath.Join("testdata", "src", "ignore", "use", "use.go")
+	marks := markerLines(t, fixture)
+	for _, m := range []string{"suppressedAbove", "suppressedTrailing", "suppressedStar", "wrongAnalyzer", "missingReason"} {
+		if marks[m] == 0 {
+			t.Fatalf("marker %s not found in %s", m, fixture)
+		}
+	}
+
+	byLine := make(map[int][]Diagnostic)
+	for _, d := range diags {
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d)
+	}
+
+	// Well-formed directives suppress the diagnostic on their own line and
+	// the line below — whether they name the analyzer or use the wildcard.
+	for _, m := range []string{"suppressedAbove", "suppressedTrailing", "suppressedStar"} {
+		if got := byLine[marks[m]]; len(got) != 0 {
+			t.Errorf("%s: diagnostic survived its //lint:ignore directive: %v", m, got)
+		}
+	}
+
+	// A directive naming a different analyzer must not suppress.
+	if got := byLine[marks["wrongAnalyzer"]]; len(got) != 1 || got[0].Analyzer != "nopanic" {
+		t.Errorf("wrongAnalyzer: want exactly the nopanic diagnostic, got %v", got)
+	}
+
+	// A directive without a reason is malformed: it suppresses nothing, and
+	// is itself reported under the "lint" pseudo-analyzer on its own line.
+	if got := byLine[marks["missingReason"]]; len(got) != 1 || got[0].Analyzer != "nopanic" {
+		t.Errorf("missingReason: want the nopanic diagnostic to survive, got %v", got)
+	}
+	directiveLine := marks["missingReason"] - 1
+	got := byLine[directiveLine]
+	if len(got) != 1 || got[0].Analyzer != "lint" || !strings.Contains(got[0].Message, "malformed //lint:ignore") {
+		t.Errorf("missingReason directive: want one malformed-directive diagnostic on line %d, got %v", directiveLine, got)
+	}
+
+	// Nothing else fires anywhere in the fixture.
+	wantTotal := 3
+	if len(diags) != wantTotal {
+		t.Errorf("got %d diagnostics total, want %d:\n%v", len(diags), wantTotal, diags)
+	}
+}

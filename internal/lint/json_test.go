@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestEncodeJSONGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "errwrap",
+			Pos:      token.Position{Filename: "internal/fed/fed.go", Line: 41, Column: 10},
+			Message:  "error argument err formatted without %w: wrap it so errors.Is/As see the chain",
+		},
+		{
+			Analyzer: "nopanic",
+			Pos:      token.Position{Filename: "internal/rl/rl.go", Line: 160, Column: 3},
+			Message:  "panic in library package: return an error, or document the invariant with a `// invariant:` comment",
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON encoding drifted from golden file (run with -update to accept):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestEncodeJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty diagnostics encode as %q, want %q (an array, never null)", got, "[]\n")
+	}
+}
+
+func TestRelativeTo(t *testing.T) {
+	abs, err := filepath.Abs("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Analyzer: "a", Pos: token.Position{Filename: filepath.Join(abs, "p", "f.go"), Line: 1, Column: 1}},
+		{Analyzer: "b", Pos: token.Position{Filename: filepath.FromSlash("/elsewhere/g.go"), Line: 2, Column: 2}},
+	}
+	out := RelativeTo(diags, "x")
+	if got, want := out[0].Pos.Filename, "p/f.go"; got != want {
+		t.Errorf("inside-dir path = %q, want %q", got, want)
+	}
+	if got := out[1].Pos.Filename; got != filepath.FromSlash("/elsewhere/g.go") {
+		t.Errorf("outside-dir path rewritten to %q, want untouched", got)
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic in library packages: a service under traffic must
+// degrade, not crash, so recoverable conditions are errors. The one
+// sanctioned use is a true invariant check — a condition the package
+// guarantees can't happen — and it must say so with a `// invariant:`
+// comment on the panic line or the line above it, which doubles as
+// reviewer-facing documentation of why the panic is unreachable.
+type NoPanic struct{}
+
+func (a *NoPanic) Name() string { return "nopanic" }
+
+func (a *NoPanic) Doc() string {
+	return "no panic in library packages except documented `// invariant:` checks"
+}
+
+func (a *NoPanic) Run(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		invariantLines := invariantCommentLines(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if invariantLines[line] || invariantLines[line-1] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library package: return an error, or document the invariant with a `// invariant:` comment")
+			return true
+		})
+	}
+}
+
+// invariantCommentLines maps the end line of every `// invariant:` comment
+// in the file, so a panic on that line (trailing form) or the next
+// (comment-above form) is sanctioned.
+func invariantCommentLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "invariant:") {
+				lines[pass.Fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}

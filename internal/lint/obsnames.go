@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsNames enforces the metric-name registry: every name passed to the
+// obs.Registry instrument constructors (Counter, Gauge, Histogram) must be
+// a constant or a name-builder function declared in the obs package
+// itself, where internal/obs/names.go centralizes them. A raw string
+// literal (or any locally assembled name) can silently mint a brand-new
+// time series on a typo; forcing the name through the registry makes that
+// a compile- or lint-time error instead of a phantom metric.
+type ObsNames struct {
+	// ObsPath is the import path of the obs package whose Registry
+	// methods are guarded and whose declarations are the only legal
+	// name sources.
+	ObsPath string
+}
+
+func (a *ObsNames) Name() string { return "obsnames" }
+
+func (a *ObsNames) Doc() string {
+	return "metric names must be constants or builders from the obs name registry (names.go)"
+}
+
+var instrumentMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func (a *ObsNames) Run(pass *Pass) {
+	// The obs package itself necessarily handles names as plain strings
+	// (the registry maps are keyed by them).
+	if pass.Pkg.Path == a.ObsPath {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != a.ObsPath {
+				return true
+			}
+			if !instrumentMethods[fn.Name()] || fn.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if !a.registeredName(pass, unparen(call.Args[0])) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to obs.Registry.%s must be a constant or builder from the obs name registry (names.go), not %s",
+					fn.Name(), types.ExprString(call.Args[0]))
+			}
+			return true
+		})
+	}
+}
+
+// registeredName reports whether e draws its value from the obs package:
+// a reference to a constant declared there, or a call to one of its
+// exported name-builder functions.
+func (a *ObsNames) registeredName(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return a.obsConst(pass.Pkg.Info.Uses[e])
+	case *ast.SelectorExpr:
+		return a.obsConst(pass.Pkg.Info.Uses[e.Sel])
+	case *ast.CallExpr:
+		callee := unparen(e.Fun)
+		var obj types.Object
+		switch f := callee.(type) {
+		case *ast.Ident:
+			obj = pass.Pkg.Info.Uses[f]
+		case *ast.SelectorExpr:
+			obj = pass.Pkg.Info.Uses[f.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		return ok && fn.Pkg() != nil && fn.Pkg().Path() == a.ObsPath
+	}
+	return false
+}
+
+// obsConst reports whether obj is a constant declared in the obs package.
+func (a *ObsNames) obsConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Path() == a.ObsPath
+}

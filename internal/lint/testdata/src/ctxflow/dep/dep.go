@@ -1,0 +1,9 @@
+// Package dep provides package-level Context/non-Context function pairs
+// for the cross-package half of the ctxflow dropped-context rule.
+package dep
+
+import "context"
+
+func Fetch() {}
+
+func FetchContext(ctx context.Context) {}

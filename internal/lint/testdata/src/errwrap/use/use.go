@@ -1,0 +1,38 @@
+package use
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wrapOK(err error) error {
+	return fmt.Errorf("open index: %w", err) // ok: %w keeps the chain
+}
+
+func verbV(err error) error {
+	return fmt.Errorf("open index: %v", err) // want `error argument err formatted without %w`
+}
+
+func verbS(err error) error {
+	return fmt.Errorf("open index: %s", err) // want `error argument err formatted without %w`
+}
+
+func restringifyNew(err error) error {
+	return errors.New(err.Error()) // want `err\.Error\(\) re-stringifies the error`
+}
+
+func restringifyErrorf(err error, path string) error {
+	return fmt.Errorf("read %s: %s", path, err.Error()) // want `err\.Error\(\) re-stringifies the error`
+}
+
+func plainFormatting(n int) error {
+	return fmt.Errorf("expected %d rows", n) // ok: no error argument
+}
+
+func plainNew() error {
+	return errors.New("index missing") // ok: fresh error, nothing discarded
+}
+
+func wrapPlusDetail(err error, q string) error {
+	return fmt.Errorf("query %q: %w", q, err) // ok: %w present
+}

@@ -1,0 +1,42 @@
+// Package use exercises the //lint:ignore suppression machinery; the
+// ignore_test locates each case by the marker in its function name.
+package use
+
+func suppressedAbove(x int) int {
+	if x < 0 {
+		//lint:ignore nopanic fixture: suppression on the line above
+		panic("suppressedAbove")
+	}
+	return x
+}
+
+func suppressedTrailing(x int) int {
+	if x < 0 {
+		panic("suppressedTrailing") //lint:ignore nopanic fixture: trailing suppression
+	}
+	return x
+}
+
+func suppressedStar(x int) int {
+	if x < 0 {
+		//lint:ignore * fixture: wildcard matches every analyzer
+		panic("suppressedStar")
+	}
+	return x
+}
+
+func wrongAnalyzer(x int) int {
+	if x < 0 {
+		//lint:ignore errwrap fixture: names a different analyzer
+		panic("wrongAnalyzer")
+	}
+	return x
+}
+
+func missingReason(x int) int {
+	if x < 0 {
+		//lint:ignore nopanic
+		panic("missingReason")
+	}
+	return x
+}

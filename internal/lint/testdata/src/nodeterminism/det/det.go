@@ -1,0 +1,56 @@
+// Package det is covered by the nodeterminism policy (listed in the
+// analyzer's Packages), so wall-clock reads, global rand draws, and
+// map-ordered output are all flagged here.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in a deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock in a deterministic package`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global source in a deterministic package`
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: seeded constructors, then method draws
+	return r.Intn(10)
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted before escaping
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: order-insensitive aggregation, no append
+		total += v
+	}
+	return total
+}
+
+func methodsAreFine(a, b time.Time) time.Duration {
+	return a.Sub(b) // ok: time.Time method, not a wall-clock read
+}

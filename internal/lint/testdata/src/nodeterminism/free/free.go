@@ -1,0 +1,24 @@
+// Package free is NOT listed in the nodeterminism policy: the same
+// constructs that fire in fix/det must stay silent here.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // ok: package not covered by the policy
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // ok: package not covered by the policy
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: package not covered by the policy
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,7 @@
+// Command main shows the nopanic exemption: package main owns the
+// process, so crashing on startup misconfiguration is legitimate.
+package main
+
+func main() {
+	panic("usage: fix <dir>") // ok: package main is exempt
+}

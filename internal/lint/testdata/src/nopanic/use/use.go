@@ -1,0 +1,42 @@
+package use
+
+func bare(x int) int {
+	if x < 0 {
+		panic("negative") // want `panic in library package`
+	}
+	return x
+}
+
+func wrongComment(x int) int {
+	if x < 0 {
+		// note: cannot happen
+		panic("negative") // want `panic in library package`
+	}
+	return x
+}
+
+func stringified(err error) {
+	if err != nil {
+		panic(err) // want `panic in library package`
+	}
+}
+
+func documentedAbove(x int) int {
+	if x < 0 {
+		// invariant: callers validated x at the API boundary.
+		panic("negative")
+	}
+	return x
+}
+
+func documentedTrailing(x int) int {
+	if x < 0 {
+		panic("negative") // invariant: callers validated x at the API boundary.
+	}
+	return x
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin") // ok: locally shadowed, does not crash
+}

@@ -1,0 +1,25 @@
+// Package obs is a miniature stand-in for the real internal/obs: a
+// Registry with the three instrument constructors, plus the name registry
+// (constants and builder functions) the obsnames analyzer resolves
+// against.
+package obs
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (*Registry) Counter(name string) *Counter     { return nil }
+func (*Registry) Gauge(name string) *Gauge         { return nil }
+func (*Registry) Histogram(name string) *Histogram { return nil }
+
+const (
+	FedQueries    = "fed.queries"
+	CoreEpisodeNS = "core.episode_ns"
+)
+
+// StoreRows names the matched-rows counter of one store.
+func StoreRows(dataset string) string { return "store." + dataset + ".rows" }

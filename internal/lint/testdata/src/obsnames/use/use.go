@@ -1,0 +1,19 @@
+package use
+
+import "fix/obs"
+
+// local is a constant with a plausible-looking metric name, but it is not
+// declared in the obs registry, so using it must still be flagged.
+const local = "fed.rogue"
+
+func bind(reg *obs.Registry, name string) {
+	reg.Counter(obs.FedQueries)        // ok: constant from the registry
+	reg.Gauge(obs.CoreEpisodeNS)       // ok: constant from the registry
+	reg.Histogram(obs.StoreRows("ds")) // ok: builder from the registry
+	reg.Counter("fed.queriez")         // want `metric name passed to obs\.Registry\.Counter must be a constant or builder`
+	reg.Gauge("fed." + name)           // want `metric name passed to obs\.Registry\.Gauge must be a constant or builder`
+	reg.Histogram(assemble(name))      // want `metric name passed to obs\.Registry\.Histogram must be a constant or builder`
+	reg.Counter(local)                 // want `metric name passed to obs\.Registry\.Counter must be a constant or builder`
+}
+
+func assemble(name string) string { return "fed." + name }

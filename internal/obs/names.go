@@ -1,0 +1,132 @@
+package obs
+
+import "strconv"
+
+// This file is the central metric-name registry. Every counter, gauge and
+// histogram name in the repository is declared here — as an exported
+// constant for fixed names, or an exported builder function for names
+// parameterized by a data-set, source or status code. Components must
+// reach instruments only through these (enforced by the obsnames analyzer
+// in internal/lint): a typo'd string literal at a call site would
+// otherwise silently mint a brand-new, forever-empty time series instead
+// of failing. Names follow the `pkg.snake_case` convention, dot-separated,
+// validated by names_test.go, and every entry must be documented in the
+// README metrics table (also asserted by names_test.go).
+
+// Federated query processor (internal/fed).
+const (
+	FedQueries          = "fed.queries"
+	FedQueryNS          = "fed.query_ns"
+	FedSourceProbes     = "fed.source_probes"
+	FedSameasRewrites   = "fed.sameas.rewrites"
+	FedSameasRows       = "fed.sameas.rows"
+	FedBoundJoinBatches = "fed.boundjoin.batches"
+	FedBoundJoinRows    = "fed.boundjoin.rows"
+	FedRows             = "fed.rows"
+	FedWorkersBusy      = "fed.workers_busy"
+	FedSourceErrors     = "fed.source_errors"
+	FedRetries          = "fed.retries"
+	FedRetryGiveups     = "fed.retry_giveups"
+	FedPartialQueries   = "fed.partial_queries"
+	FedSkippedSources   = "fed.skipped_sources"
+	FedBreakerOpens     = "fed.breaker_opens"
+)
+
+// SPARQL protocol endpoint (internal/endpoint).
+const (
+	EndpointRequests  = "endpoint.requests"
+	EndpointRequestNS = "endpoint.request_ns"
+)
+
+// ALEX engine (internal/core).
+const (
+	CoreEpisodeNS        = "core.episode_ns"
+	CoreCandidates       = "core.candidates"
+	CoreFeedbackPositive = "core.feedback.positive"
+	CoreFeedbackNegative = "core.feedback.negative"
+	CoreLinksAdded       = "core.links.added"
+	CoreLinksRemoved     = "core.links.removed"
+	CoreExplorations     = "core.explorations"
+	CoreRollbacks        = "core.rollbacks"
+	CorePickGreedy       = "core.pick.greedy"
+	CorePickExplore      = "core.pick.explore"
+)
+
+// FedSourceMatchNS names the per-source match-latency histogram.
+func FedSourceMatchNS(source string) string { return "fed.source." + source + ".match_ns" }
+
+// FedBreakerState names the per-source circuit-breaker state gauge
+// (0 closed, 1 open, 2 half-open).
+func FedBreakerState(source string) string { return "fed.breaker." + source + ".state" }
+
+// EndpointStatus names the per-HTTP-status response counter.
+func EndpointStatus(code int) string { return "endpoint.status." + strconv.Itoa(code) }
+
+// StoreProbeSubject names the subject-index probe counter of one store.
+func StoreProbeSubject(dataset string) string { return "store." + dataset + ".probe.subject" }
+
+// StoreProbeObject names the object-index probe counter of one store.
+func StoreProbeObject(dataset string) string { return "store." + dataset + ".probe.object" }
+
+// StoreProbePredicate names the predicate-index probe counter of one store.
+func StoreProbePredicate(dataset string) string { return "store." + dataset + ".probe.predicate" }
+
+// StoreProbeScan names the full-scan probe counter of one store.
+func StoreProbeScan(dataset string) string { return "store." + dataset + ".probe.scan" }
+
+// StoreRows names the matched-rows counter of one store.
+func StoreRows(dataset string) string { return "store." + dataset + ".rows" }
+
+// StoreTriples names the triple-count gauge of one store.
+func StoreTriples(dataset string) string { return "store." + dataset + ".triples" }
+
+// MetricNames returns every fixed registered metric name, sorted, for the
+// documentation and naming-convention tests.
+func MetricNames() []string {
+	return []string{
+		CoreCandidates,
+		CoreEpisodeNS,
+		CoreExplorations,
+		CoreFeedbackNegative,
+		CoreFeedbackPositive,
+		CoreLinksAdded,
+		CoreLinksRemoved,
+		CorePickExplore,
+		CorePickGreedy,
+		CoreRollbacks,
+		EndpointRequestNS,
+		EndpointRequests,
+		FedBoundJoinBatches,
+		FedBoundJoinRows,
+		FedBreakerOpens,
+		FedPartialQueries,
+		FedQueries,
+		FedQueryNS,
+		FedRetries,
+		FedRetryGiveups,
+		FedRows,
+		FedSameasRewrites,
+		FedSameasRows,
+		FedSkippedSources,
+		FedSourceErrors,
+		FedSourceProbes,
+		FedWorkersBusy,
+	}
+}
+
+// MetricPatterns returns the parameterized name templates, with the
+// variable segment spelled <like-this>, matching how the README metrics
+// table documents them.
+func MetricPatterns() []string {
+	return []string{
+		"endpoint.status.<code>",
+		FedBreakerState("<source>"),
+		FedSourceMatchNS("<source>"),
+		StoreProbeObject("<dataset>"),
+		StoreProbePredicate("<dataset>"),
+		StoreProbeScan("<dataset>"),
+		StoreProbeSubject("<dataset>"),
+		StoreRows("<dataset>"),
+		StoreTriples("<dataset>"),
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// nameRE is the repo's metric naming convention: dot-separated
+// lower_snake_case segments, starting with the owning package's name.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+// patternRE additionally permits one <placeholder> segment.
+var patternRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.(<[a-z_]+>|[a-z0-9_]+))+$`)
+
+// placeholderRE matches a quoted <placeholder> inside a QuoteMeta'd pattern.
+var placeholderRE = regexp.MustCompile(`<[a-z_]+>`)
+
+func TestMetricNamesWellFormed(t *testing.T) {
+	names := MetricNames()
+	if !sort.StringsAreSorted(names) {
+		t.Error("MetricNames() is not sorted")
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if !nameRE.MatchString(n) {
+			t.Errorf("metric name %q violates the pkg.snake_case convention", n)
+		}
+		if seen[n] {
+			t.Errorf("duplicate metric name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, p := range MetricPatterns() {
+		if !patternRE.MatchString(p) {
+			t.Errorf("metric pattern %q violates the pkg.snake_case convention", p)
+		}
+		if seen[p] {
+			t.Errorf("pattern %q duplicates a fixed name", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestBuildersMatchPatterns(t *testing.T) {
+	patterns := make(map[string]bool)
+	for _, p := range MetricPatterns() {
+		patterns[p] = true
+	}
+	cases := map[string]string{
+		FedSourceMatchNS("dbpedia"): FedSourceMatchNS("<source>"),
+		FedBreakerState("dbpedia"):  FedBreakerState("<source>"),
+		EndpointStatus(200):         "endpoint.status.<code>",
+		StoreProbeSubject("nba"):    StoreProbeSubject("<dataset>"),
+		StoreProbeObject("nba"):     StoreProbeObject("<dataset>"),
+		StoreProbePredicate("nba"):  StoreProbePredicate("<dataset>"),
+		StoreProbeScan("nba"):       StoreProbeScan("<dataset>"),
+		StoreRows("nba"):            StoreRows("<dataset>"),
+		StoreTriples("nba"):         StoreTriples("<dataset>"),
+	}
+	for built, pattern := range cases {
+		if !patterns[pattern] {
+			t.Errorf("builder output %q has no corresponding pattern in MetricPatterns()", built)
+			continue
+		}
+		// The built name must match the pattern with its <placeholder>
+		// substituted by a concrete segment.
+		re := regexp.MustCompile("^" + placeholderRE.ReplaceAllString(regexp.QuoteMeta(pattern), `[a-z0-9_]+`) + "$")
+		if !re.MatchString(built) {
+			t.Errorf("builder output %q does not instantiate pattern %q", built, pattern)
+		}
+	}
+}
+
+// TestMetricNamesDocumented asserts every registered name and pattern is
+// mentioned in the repository documentation (README.md or DESIGN.md), so
+// the metrics table cannot silently drift from the registry.
+func TestMetricNamesDocumented(t *testing.T) {
+	var docs strings.Builder
+	for _, f := range []string{"../../README.md", "../../DESIGN.md"} {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs.Write(b)
+	}
+	text := docs.String()
+	for _, n := range MetricNames() {
+		if !strings.Contains(text, n) {
+			t.Errorf("metric %q is registered but undocumented in README.md/DESIGN.md", n)
+		}
+	}
+	for _, p := range MetricPatterns() {
+		if !strings.Contains(text, p) {
+			t.Errorf("metric pattern %q is registered but undocumented in README.md/DESIGN.md", p)
+		}
+	}
+}

@@ -211,7 +211,7 @@ func (p *lineParser) literal() (Term, error) {
 		}
 		dt, err := p.iri()
 		if err != nil {
-			return Term{}, fmt.Errorf("datatype: %v", err)
+			return Term{}, fmt.Errorf("datatype: %w", err)
 		}
 		t.Datatype = dt.Value
 	}

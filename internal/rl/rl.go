@@ -10,9 +10,15 @@
 package rl
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 )
+
+// ErrNoActions is returned by a policy's Action when called with an empty
+// action set: a state with no available action has no defined policy, and
+// callers must not consult the policy for such states.
+var ErrNoActions = errors.New("rl: no available actions")
 
 // sa is a state-action pair key.
 type sa[S comparable, A comparable] struct {
@@ -118,9 +124,12 @@ type QEntry[S comparable, A comparable] struct {
 }
 
 // Entries exports every state-action statistic (unordered), for
-// persistence and introspection.
+// persistence and introspection. The generic key types are not ordered,
+// so consumers that need stable bytes sort the exported slice themselves
+// (see core.sortPartitionState).
 func (q *QTable[S, A]) Entries() []QEntry[S, A] {
 	out := make([]QEntry[S, A], 0, len(q.count))
+	//lint:ignore nodeterminism documented-unordered export over generic (unsortable) keys; persisting consumers sort
 	for k, n := range q.count {
 		out = append(out, QEntry[S, A]{State: k.s, Action: k.a, Sum: q.sum[k], Count: n})
 	}
@@ -153,11 +162,12 @@ func NewEpsilonGreedy[S comparable, A comparable](epsilon float64, rng *rand.Ran
 }
 
 // Action selects the action to take at state s among actions (A(s)).
-// It panics if actions is empty; callers must not consult the policy for
-// states with no available action.
-func (p *EpsilonGreedy[S, A]) Action(s S, actions []A) A {
+// It returns ErrNoActions if actions is empty; callers must not consult
+// the policy for states with no available action.
+func (p *EpsilonGreedy[S, A]) Action(s S, actions []A) (A, error) {
 	if len(actions) == 0 {
-		panic("rl: Action called with no available actions")
+		var zero A
+		return zero, ErrNoActions
 	}
 	g, improved := p.greedy[s]
 	if !improved {
@@ -171,16 +181,16 @@ func (p *EpsilonGreedy[S, A]) Action(s S, actions []A) A {
 		p.greedy[s] = g
 	}
 	if p.rng.Float64() < p.Epsilon {
-		return actions[p.rng.Intn(len(actions))]
+		return actions[p.rng.Intn(len(actions))], nil
 	}
 	// The remembered greedy action may have disappeared from A(s) (e.g.
 	// after rollback); fall back to the first candidate.
 	for _, a := range actions {
 		if a == g {
-			return g
+			return g, nil
 		}
 	}
-	return actions[0]
+	return actions[0], nil
 }
 
 // Improve records a∗ as the greedy action for s (Algorithm 1 lines 24-33).

@@ -1,11 +1,23 @@
 package rl
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// mustAction consults the policy for a state known to have actions,
+// failing the test on the (impossible there) ErrNoActions.
+func mustAction[S comparable, A comparable](t *testing.T, p Policy[S, A], s S, actions []A) A {
+	t.Helper()
+	a, err := p.Action(s, actions)
+	if err != nil {
+		t.Fatalf("Action(%v, %v): %v", s, actions, err)
+	}
+	return a
+}
 
 func TestQTableAppendAndQ(t *testing.T) {
 	q := NewQTable[string, int]()
@@ -97,9 +109,9 @@ func TestQTableAverageProperty(t *testing.T) {
 
 func TestEpsilonGreedyStableArbitraryAction(t *testing.T) {
 	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
-	a1 := p.Action("s", []int{7, 8, 9})
+	a1 := mustAction[string, int](t, p, "s", []int{7, 8, 9})
 	for i := 0; i < 10; i++ {
-		if a2 := p.Action("s", []int{7, 8, 9}); a2 != a1 {
+		if a2 := mustAction[string, int](t, p, "s", []int{7, 8, 9}); a2 != a1 {
 			t.Fatalf("arbitrary action changed: %d then %d", a1, a2)
 		}
 	}
@@ -111,7 +123,7 @@ func TestEpsilonGreedyArbitraryActionUnbiased(t *testing.T) {
 	p := NewEpsilonGreedy[int, int](0, rand.New(rand.NewSource(5)))
 	counts := map[int]int{}
 	for s := 0; s < 300; s++ {
-		counts[p.Action(s, []int{1, 2, 3})]++
+		counts[mustAction[int, int](t, p, s, []int{1, 2, 3})]++
 	}
 	for a := 1; a <= 3; a++ {
 		if counts[a] < 50 {
@@ -124,7 +136,7 @@ func TestEpsilonGreedyFollowsImprovedAction(t *testing.T) {
 	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
 	p.Improve("s", 9)
 	for i := 0; i < 10; i++ {
-		if got := p.Action("s", []int{7, 8, 9}); got != 9 {
+		if got := mustAction[string, int](t, p, "s", []int{7, 8, 9}); got != 9 {
 			t.Fatalf("greedy action = %d, want 9", got)
 		}
 	}
@@ -140,7 +152,7 @@ func TestEpsilonGreedyExplores(t *testing.T) {
 	counts := map[int]int{}
 	const n = 4000
 	for i := 0; i < n; i++ {
-		counts[p.Action("s", []int{1, 2, 3, 4})]++
+		counts[mustAction[string, int](t, p, "s", []int{1, 2, 3, 4})]++
 	}
 	// Expected: P(1) = 1-ε+ε/4 = 0.625, others 0.125 each.
 	if f := float64(counts[1]) / n; math.Abs(f-0.625) > 0.05 {
@@ -216,19 +228,25 @@ func TestEpsilonGreedyEveryActionPositiveProb(t *testing.T) {
 func TestEpsilonGreedyGreedyGone(t *testing.T) {
 	p := NewEpsilonGreedy[string, int](0, rand.New(rand.NewSource(1)))
 	p.Improve("s", 99)
-	if got := p.Action("s", []int{1, 2}); got != 1 {
+	if got := mustAction[string, int](t, p, "s", []int{1, 2}); got != 1 {
 		t.Errorf("vanished greedy fallback = %d, want 1", got)
 	}
 }
 
-func TestEpsilonGreedyPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on empty action set")
-		}
-	}()
+func TestEpsilonGreedyErrNoActionsOnEmpty(t *testing.T) {
+	// Regression: an empty action set must surface rl.ErrNoActions (this
+	// used to panic), without touching the policy's state.
 	p := NewEpsilonGreedy[string, int](0.1, rand.New(rand.NewSource(1)))
-	p.Action("s", nil)
+	a, err := p.Action("s", nil)
+	if !errors.Is(err, ErrNoActions) {
+		t.Fatalf("Action on empty set: err = %v, want ErrNoActions", err)
+	}
+	if a != 0 {
+		t.Errorf("Action on empty set returned %d, want the zero action", a)
+	}
+	if _, seen := p.Greedy("s"); seen {
+		t.Error("failed Action recorded the state as seen")
+	}
 }
 
 func TestEpsilonGreedyLen(t *testing.T) {
@@ -271,7 +289,7 @@ func TestPolicyIterationConvergesOnBandit(t *testing.T) {
 	actions := []int{0, 1} // action 1 pays +1, action 0 pays -1
 	for episode := 0; episode < 20; episode++ {
 		for step := 0; step < 50; step++ {
-			a := p.Action(0, actions)
+			a := mustAction[int, int](t, p, 0, actions)
 			reward := -1.0
 			if a == 1 {
 				reward = 1.0

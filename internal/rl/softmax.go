@@ -11,7 +11,9 @@ import (
 // paper's policy; Softmax is an alternative stochastic policy for the
 // policy-shape ablation.
 type Policy[S comparable, A comparable] interface {
-	Action(s S, actions []A) A
+	// Action selects the action to take at state s among actions; it
+	// returns ErrNoActions when the action set is empty.
+	Action(s S, actions []A) (A, error)
 	Improve(s S, best A)
 	Greedy(s S) (A, bool)
 	// GreedyEntries exports every remembered greedy action, for
@@ -50,11 +52,12 @@ func NewSoftmax[S comparable, A comparable](temp float64, q *QTable[S, A], rng *
 }
 
 // Action samples an action with Boltzmann probabilities over the current
-// action-value estimates. It panics on an empty action set, matching
-// EpsilonGreedy.
-func (p *Softmax[S, A]) Action(s S, actions []A) A {
+// action-value estimates. It returns ErrNoActions on an empty action set,
+// matching EpsilonGreedy.
+func (p *Softmax[S, A]) Action(s S, actions []A) (A, error) {
 	if len(actions) == 0 {
-		panic("rl: Action called with no available actions")
+		var zero A
+		return zero, ErrNoActions
 	}
 	if _, seen := p.greedy[s]; !seen {
 		// Remember an arbitrary action so Greedy reports the state as
@@ -84,10 +87,10 @@ func (p *Softmax[S, A]) Action(s S, actions []A) A {
 	for i, w := range weights {
 		r -= w
 		if r <= 0 {
-			return actions[i]
+			return actions[i], nil
 		}
 	}
-	return actions[len(actions)-1]
+	return actions[len(actions)-1], nil
 }
 
 // Improve records the greedy action; selection probabilities already track

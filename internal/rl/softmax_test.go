@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func TestSoftmaxPrefersHigherQ(t *testing.T) {
 	counts := map[int]int{}
 	const n = 4000
 	for i := 0; i < n; i++ {
-		counts[p.Action("s", []int{1, 2})]++
+		counts[mustAction[string, int](t, p, "s", []int{1, 2})]++
 	}
 	// exp(0/0.3) vs exp(-2/0.3): action 1 should dominate heavily.
 	if f := float64(counts[1]) / n; f < 0.95 {
@@ -31,7 +32,7 @@ func TestSoftmaxUntriedActionsOptimistic(t *testing.T) {
 	p := NewSoftmax(0.3, q, rand.New(rand.NewSource(2)))
 	counts := map[int]int{}
 	for i := 0; i < 2000; i++ {
-		counts[p.Action("s", []int{1, 2})]++ // 2 untried => Q 0 > -1
+		counts[mustAction[string, int](t, p, "s", []int{1, 2})]++ // 2 untried => Q 0 > -1
 	}
 	if counts[2] < counts[1] {
 		t.Errorf("untried action chosen less than punished: %v", counts)
@@ -72,7 +73,7 @@ func TestSoftmaxGreedyBookkeeping(t *testing.T) {
 	if _, seen := p.Greedy("s"); seen {
 		t.Error("unseen state reported greedy")
 	}
-	p.Action("s", []int{7})
+	mustAction[string, int](t, p, "s", []int{7})
 	if _, seen := p.Greedy("s"); !seen {
 		t.Error("Action did not record the state")
 	}
@@ -85,14 +86,17 @@ func TestSoftmaxGreedyBookkeeping(t *testing.T) {
 	}
 }
 
-func TestSoftmaxPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
+func TestSoftmaxErrNoActionsOnEmpty(t *testing.T) {
+	// Regression: an empty action set must surface rl.ErrNoActions (this
+	// used to panic), matching EpsilonGreedy.
 	p := NewSoftmax(0.5, NewQTable[string, int](), rand.New(rand.NewSource(5)))
-	p.Action("s", nil)
+	a, err := p.Action("s", nil)
+	if !errors.Is(err, ErrNoActions) {
+		t.Fatalf("Action on empty set: err = %v, want ErrNoActions", err)
+	}
+	if a != 0 {
+		t.Errorf("Action on empty set returned %d, want the zero action", a)
+	}
 }
 
 func TestSoftmaxNumericalStability(t *testing.T) {
@@ -102,7 +106,7 @@ func TestSoftmaxNumericalStability(t *testing.T) {
 	q.Append("s", 2, -500)
 	p := NewSoftmax(0.1, q, rand.New(rand.NewSource(6)))
 	for i := 0; i < 100; i++ {
-		a := p.Action("s", []int{1, 2})
+		a := mustAction[string, int](t, p, "s", []int{1, 2})
 		if a != 1 && a != 2 {
 			t.Fatalf("invalid action %d", a)
 		}

@@ -331,7 +331,7 @@ func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		re, err := regexp.Compile(pat)
 		if err != nil {
-			return rdf.Term{}, fmt.Errorf("REGEX: %v", err)
+			return rdf.Term{}, fmt.Errorf("REGEX: %w", err)
 		}
 		return boolTerm(re.MatchString(args[0].Value)), nil
 	case "CONTAINS":

@@ -69,13 +69,12 @@ func (s *Store) Name() string { return s.name }
 func (s *Store) SetObserver(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prefix := "store." + s.name + "."
-	s.probeSubj = reg.Counter(prefix + "probe.subject")
-	s.probeObj = reg.Counter(prefix + "probe.object")
-	s.probePred = reg.Counter(prefix + "probe.predicate")
-	s.probeScan = reg.Counter(prefix + "probe.scan")
-	s.matchRows = reg.Counter(prefix + "rows")
-	s.triplesOut = reg.Gauge(prefix + "triples")
+	s.probeSubj = reg.Counter(obs.StoreProbeSubject(s.name))
+	s.probeObj = reg.Counter(obs.StoreProbeObject(s.name))
+	s.probePred = reg.Counter(obs.StoreProbePredicate(s.name))
+	s.probeScan = reg.Counter(obs.StoreProbeScan(s.name))
+	s.matchRows = reg.Counter(obs.StoreRows(s.name))
+	s.triplesOut = reg.Gauge(obs.StoreTriples(s.name))
 	s.triplesOut.Set(int64(len(s.triples)))
 }
 
