@@ -3,7 +3,19 @@
 
 GO ?= go
 
-.PHONY: build test test-short race bench fuzz cover fmt vet lint check
+# The benchmarks pinned by the CI regression gate: bulk loading, dictionary
+# interning, exploration (feature-space range scans and engine episodes)
+# and the federated join reorderer. Keep this list in sync with the
+# "Performance" section of README.md.
+BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkFedJoinReorder)$$
+BENCH_GATE_PKGS = .,./internal/store,./internal/rdf
+BENCH_COUNT    ?= 5
+# Time-based so sub-millisecond benchmarks average many iterations (one
+# 1x iteration of a microsecond benchmark is mostly timer noise) while the
+# ~100ms loader benchmarks still run just once per sample.
+BENCH_TIME     ?= 100ms
+
+.PHONY: build test test-short race bench bench-json bench-gate fuzz cover fmt vet lint check
 
 build:
 	$(GO) build ./...
@@ -15,7 +27,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/... ./internal/experiment/...
+	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/... ./internal/rdf/... ./internal/feature/... ./internal/experiment/...
 
 fuzz:
 	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzNTriples$$' -fuzztime 10s
@@ -28,6 +40,20 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Run the pinned gate suite and write BENCH_<LABEL>.json for committing
+# alongside a PR (e.g. `make bench-json LABEL=pr4`).
+bench-json:
+ifndef LABEL
+	$(error usage: make bench-json LABEL=<name>)
+endif
+	$(GO) run ./cmd/alexbench run -label $(LABEL) -bench '$(BENCH_GATE_RE)' -pkgs '$(BENCH_GATE_PKGS)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME)
+
+# The CI regression gate: benchmark the working tree and compare against
+# the committed baseline, failing on >10% mean slowdown beyond noise.
+bench-gate:
+	$(GO) run ./cmd/alexbench run -label gate -bench '$(BENCH_GATE_RE)' -pkgs '$(BENCH_GATE_PKGS)' -count $(BENCH_COUNT) -benchtime $(BENCH_TIME) -o BENCH_gate.json
+	$(GO) run ./cmd/alexbench compare -old BENCH_baseline.json -new BENCH_gate.json -threshold 0.10
 
 fmt:
 	gofmt -l -w .

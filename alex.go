@@ -81,31 +81,22 @@ func (w *Workspace) NewDataset(name string) *Dataset {
 	return &Dataset{st: store.New(name, w.dict)}
 }
 
-// LoadDataset reads N-Triples from r into a new data set.
+// LoadDataset reads N-Triples from r into a new data set. Large inputs are
+// parsed on all available cores (see store.LoadNTriples); the result is
+// identical to a serial load.
 func (w *Workspace) LoadDataset(name string, r io.Reader) (*Dataset, error) {
 	ds := w.NewDataset(name)
-	reader := rdf.NewReader(r)
-	for {
-		t, err := reader.Read()
-		if err == io.EOF {
-			return ds, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("alex: loading %s: %w", name, err)
-		}
-		ds.st.Add(t)
+	if _, err := store.LoadNTriples(ds.st, r, store.LoadOptions{}); err != nil {
+		return nil, fmt.Errorf("alex: loading %s: %w", name, err)
 	}
+	return ds, nil
 }
 
 // LoadDatasetTurtle reads Turtle from r into a new data set.
 func (w *Workspace) LoadDatasetTurtle(name string, r io.Reader) (*Dataset, error) {
 	ds := w.NewDataset(name)
-	triples, err := rdf.ParseTurtle(r)
-	if err != nil {
+	if _, err := store.LoadTurtle(ds.st, r, store.LoadOptions{}); err != nil {
 		return nil, fmt.Errorf("alex: loading %s: %w", name, err)
-	}
-	for _, t := range triples {
-		ds.st.Add(t)
 	}
 	return ds, nil
 }

@@ -1,0 +1,363 @@
+// Command alexbench is the repository's benchmark harness: it runs the Go
+// benchmark suite several times, condenses the samples into per-benchmark
+// mean/median/stddev, writes the result as a JSON document, and compares
+// two such documents with a noise-aware regression verdict. CI's
+// bench-gate job uses it to fail pull requests that slow the pinned hot
+// paths down by more than the allowed threshold.
+//
+// Usage:
+//
+//	alexbench run -label <name> [-bench RE] [-count N] [-benchtime D]
+//	              [-pkgs p1,p2,...] [-o file]
+//	alexbench compare -old A.json -new B.json [-threshold 0.10]
+//
+// run executes `go test -run ^$ -bench RE -benchtime D -count N` over each
+// package and writes BENCH_<label>.json (or -o). compare exits 1 when any
+// benchmark regressed — mean slowdown above the threshold AND above twice
+// the combined standard error, so single noisy samples do not fail builds
+// — and 0 otherwise; both subcommands exit 2 on usage or execution errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return runBenchmarks(args[1:], stdout, stderr)
+	case "compare":
+		return compareFiles(args[1:], stdout, stderr)
+	default:
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: alexbench run -label <name> [-bench RE] [-count N] [-benchtime D] [-pkgs p1,p2,...] [-o file]")
+	fmt.Fprintln(w, "       alexbench compare -old A.json -new B.json [-threshold 0.10]")
+}
+
+// Result is one suite execution: every benchmark's samples and summary
+// statistics, plus enough environment detail to make the numbers
+// self-describing (a gomaxprocs=1 run must not be compared against a
+// 16-core one as if the hardware were equal).
+type Result struct {
+	Label      string            `json:"label"`
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Count      int               `json:"count"`
+	Benchtime  string            `json:"benchtime"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// Bench summarizes one benchmark's ns/op samples.
+type Bench struct {
+	SamplesNS []float64 `json:"samples_ns"`
+	MeanNS    float64   `json:"mean_ns"`
+	MedianNS  float64   `json:"median_ns"`
+	StddevNS  float64   `json:"stddev_ns"`
+}
+
+// stderrNS is the standard error of the mean.
+func (b *Bench) stderrNS() float64 {
+	if len(b.SamplesNS) < 2 {
+		return 0
+	}
+	return b.StddevNS / math.Sqrt(float64(len(b.SamplesNS)))
+}
+
+// execBench runs one `go test` benchmark pass over a package and returns
+// its combined output. Tests swap it out for a canned transcript.
+var execBench = func(pkg, benchRE, benchtime string, count int) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchRE, "-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return out, fmt.Errorf("go test %s: %w", pkg, err)
+	}
+	return out, nil
+}
+
+func runBenchmarks(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alexbench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "", "result label (required; output defaults to BENCH_<label>.json)")
+	benchRE := fs.String("bench", ".", "benchmark name pattern, as go test -bench")
+	count := fs.Int("count", 5, "runs per benchmark")
+	benchtime := fs.String("benchtime", "1x", "per-run benchtime, as go test -benchtime")
+	pkgs := fs.String("pkgs", ".,./internal/store,./internal/rdf", "comma-separated packages to benchmark")
+	out := fs.String("o", "", "output file (default BENCH_<label>.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *label == "" || *count < 1 {
+		usage(stderr)
+		return 2
+	}
+	res := &Result{
+		Label:      *label,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
+		Benchtime:  *benchtime,
+		Benchmarks: map[string]*Bench{},
+	}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		fmt.Fprintf(stderr, "alexbench: benchmarking %s (count=%d)\n", pkg, *count)
+		raw, err := execBench(pkg, *benchRE, *benchtime, *count)
+		if err != nil {
+			fmt.Fprintf(stderr, "alexbench: %v\n%s", err, raw)
+			return 2
+		}
+		for name, samples := range parseBenchOutput(raw) {
+			b := res.Benchmarks[name]
+			if b == nil {
+				b = &Bench{}
+				res.Benchmarks[name] = b
+			}
+			b.SamplesNS = append(b.SamplesNS, samples...)
+		}
+	}
+	if len(res.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "alexbench: no benchmarks matched %q in %s\n", *benchRE, *pkgs)
+		return 2
+	}
+	for _, b := range res.Benchmarks {
+		b.MeanNS, b.MedianNS, b.StddevNS = summarize(b.SamplesNS)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := writeResult(path, res); err != nil {
+		fmt.Fprintf(stderr, "alexbench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks, %d samples each)\n", path, len(res.Benchmarks), *count)
+	return 0
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// parseBenchOutput extracts name → ns/op samples from go test -bench
+// output. The -<procs> GOMAXPROCS suffix is stripped so results from
+// machines with different core counts share benchmark names.
+func parseBenchOutput(raw []byte) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		name := stripProcsSuffix(m[1])
+		out[name] = append(out[name], ns)
+	}
+	return out
+}
+
+// stripProcsSuffix removes a trailing -<digits> (the GOMAXPROCS marker go
+// test appends when running with more than one P).
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if suffix := name[i+1:]; suffix != "" {
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				return name
+			}
+		}
+		return name[:i]
+	}
+	return name
+}
+
+// summarize computes mean, median and sample standard deviation.
+func summarize(samples []float64) (mean, median, stddev float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(n)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		median = sorted[n/2]
+	} else {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	if n > 1 {
+		var ss float64
+		for _, s := range samples {
+			d := s - mean
+			ss += d * d
+		}
+		stddev = math.Sqrt(ss / float64(n-1))
+	}
+	return mean, median, stddev
+}
+
+func writeResult(path string, res *Result) error {
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding result: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing result: %w", err)
+	}
+	return nil
+}
+
+func readResult(path string) (*Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &res, nil
+}
+
+// comparison is the verdict on one benchmark.
+type comparison struct {
+	name      string
+	oldMean   float64
+	newMean   float64
+	delta     float64 // fractional change, + is slower
+	verdict   string
+	regressed bool
+}
+
+// compare judges new against old. A benchmark regresses when its mean
+// slowed down by more than threshold AND the slowdown exceeds twice the
+// combined standard error of the two means (with zero recorded variance
+// the threshold alone decides). Benchmarks present in old but missing
+// from new are regressions too: deleting a gated benchmark must not
+// silently pass the gate.
+func compare(oldRes, newRes *Result, threshold float64) []comparison {
+	names := make([]string, 0, len(oldRes.Benchmarks))
+	for name := range oldRes.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []comparison
+	for _, name := range names {
+		ob := oldRes.Benchmarks[name]
+		nb := newRes.Benchmarks[name]
+		if nb == nil {
+			out = append(out, comparison{name: name, oldMean: ob.MeanNS, verdict: "missing from new result", regressed: true})
+			continue
+		}
+		c := comparison{name: name, oldMean: ob.MeanNS, newMean: nb.MeanNS}
+		if ob.MeanNS > 0 {
+			c.delta = (nb.MeanNS - ob.MeanNS) / ob.MeanNS
+		}
+		noise := 2 * math.Hypot(ob.stderrNS(), nb.stderrNS())
+		slowdown := nb.MeanNS - ob.MeanNS
+		switch {
+		case c.delta > threshold && (noise == 0 || slowdown > noise):
+			c.verdict = "REGRESSION"
+			c.regressed = true
+		case c.delta > threshold:
+			c.verdict = "slower, within noise"
+		case c.delta < -threshold:
+			c.verdict = "improved"
+		default:
+			c.verdict = "ok"
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func compareFiles(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("alexbench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "baseline result JSON (required)")
+	newPath := fs.String("new", "", "candidate result JSON (required)")
+	threshold := fs.Float64("threshold", 0.10, "fractional slowdown treated as a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		usage(stderr)
+		return 2
+	}
+	oldRes, err := readResult(*oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "alexbench: %v\n", err)
+		return 2
+	}
+	newRes, err := readResult(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "alexbench: %v\n", err)
+		return 2
+	}
+	if oldRes.GOMAXPROCS != newRes.GOMAXPROCS {
+		fmt.Fprintf(stderr, "alexbench: warning: comparing gomaxprocs=%d against gomaxprocs=%d\n",
+			oldRes.GOMAXPROCS, newRes.GOMAXPROCS)
+	}
+	comps := compare(oldRes, newRes, *threshold)
+	if len(comps) == 0 {
+		fmt.Fprintf(stderr, "alexbench: baseline %s contains no benchmarks\n", *oldPath)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%-44s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	failed := false
+	for _, c := range comps {
+		newCol := fmt.Sprintf("%.0f", c.newMean)
+		if c.verdict == "missing from new result" {
+			newCol = "-"
+		}
+		fmt.Fprintf(stdout, "%-44s %14.0f %14s %+7.1f%%  %s\n",
+			c.name, c.oldMean, newCol, c.delta*100, c.verdict)
+		if c.regressed {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(stdout, "FAIL: benchmark regression above %.0f%% threshold\n", *threshold*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "PASS: no regression above %.0f%% threshold\n", *threshold*100)
+	return 0
+}

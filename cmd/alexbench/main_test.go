@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: alex/internal/store
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLoadNTriples/serial-8         	       1	 127977327 ns/op	  31.14 MB/s
+BenchmarkLoadNTriples/serial-8         	       1	 125000000 ns/op	  31.90 MB/s
+BenchmarkLoadNTriples/parallel-8       	       1	  61009805 ns/op	  66.48 MB/s
+BenchmarkLoadNTriples/parallel-8       	       1	  63009805 ns/op	  64.48 MB/s
+BenchmarkMatchIndexed   	 3456789	       345.6 ns/op
+BenchmarkMatchIndexed   	 3356789	       351.2 ns/op
+PASS
+ok  	alex/internal/store	2.416s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := parseBenchOutput([]byte(sampleOutput))
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	serial := got["BenchmarkLoadNTriples/serial"]
+	if len(serial) != 2 || serial[0] != 127977327 || serial[1] != 125000000 {
+		t.Errorf("serial samples = %v", serial)
+	}
+	indexed := got["BenchmarkMatchIndexed"]
+	if len(indexed) != 2 || indexed[0] != 345.6 {
+		t.Errorf("indexed samples = %v (GOMAXPROCS=1 lines keep their name)", indexed)
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-16":       "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-2":    "BenchmarkFoo/sub",
+		"BenchmarkFoo/n=1000-4": "BenchmarkFoo/n=1000",
+		"BenchmarkUTF-8Decode":  "BenchmarkUTF-8Decode", // digits then letter: not a procs marker
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	mean, median, stddev := summarize([]float64{10, 20, 30, 40})
+	if mean != 25 || median != 25 {
+		t.Errorf("mean=%g median=%g, want 25/25", mean, median)
+	}
+	if want := math.Sqrt(500.0 / 3.0); math.Abs(stddev-want) > 1e-9 {
+		t.Errorf("stddev = %g, want %g", stddev, want)
+	}
+	mean, median, stddev = summarize([]float64{7})
+	if mean != 7 || median != 7 || stddev != 0 {
+		t.Errorf("single sample: %g/%g/%g", mean, median, stddev)
+	}
+	if m, _, _ := summarize(nil); m != 0 {
+		t.Errorf("empty samples mean = %g", m)
+	}
+}
+
+func bench(samples ...float64) *Bench {
+	b := &Bench{SamplesNS: samples}
+	b.MeanNS, b.MedianNS, b.StddevNS = summarize(samples)
+	return b
+}
+
+func result(benches map[string]*Bench) *Result {
+	return &Result{Label: "t", Count: 3, GOMAXPROCS: 1, Benchmarks: benches}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldRes := result(map[string]*Bench{
+		"BenchmarkStable":   bench(100, 101, 99),
+		"BenchmarkRegress":  bench(100, 100, 100),
+		"BenchmarkNoisy":    bench(100, 200, 300),
+		"BenchmarkImproved": bench(1000, 1000, 1000),
+		"BenchmarkGone":     bench(50, 50, 50),
+	})
+	newRes := result(map[string]*Bench{
+		"BenchmarkStable":   bench(102, 100, 101),
+		"BenchmarkRegress":  bench(150, 150, 150),
+		"BenchmarkNoisy":    bench(230, 120, 330), // +13% but way inside noise
+		"BenchmarkImproved": bench(500, 500, 500),
+		"BenchmarkExtra":    bench(1, 1, 1), // new benchmarks are not judged
+	})
+	byName := map[string]comparison{}
+	for _, c := range compare(oldRes, newRes, 0.10) {
+		byName[c.name] = c
+	}
+	if len(byName) != 5 {
+		t.Fatalf("got %d comparisons, want 5", len(byName))
+	}
+	for name, wantRegressed := range map[string]bool{
+		"BenchmarkStable":   false,
+		"BenchmarkRegress":  true,
+		"BenchmarkNoisy":    false,
+		"BenchmarkImproved": false,
+		"BenchmarkGone":     true,
+	} {
+		if c, ok := byName[name]; !ok || c.regressed != wantRegressed {
+			t.Errorf("%s: regressed = %v (found %v), want %v", name, c.regressed, ok, wantRegressed)
+		}
+	}
+	if v := byName["BenchmarkImproved"].verdict; v != "improved" {
+		t.Errorf("improved verdict = %q", v)
+	}
+	if v := byName["BenchmarkNoisy"].verdict; v != "slower, within noise" {
+		t.Errorf("noisy verdict = %q", v)
+	}
+}
+
+// TestRunAndCompareEndToEnd drives both subcommands with a canned go test
+// transcript, through the real JSON files.
+func TestRunAndCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	defer func(orig func(string, string, string, int) ([]byte, error)) { execBench = orig }(execBench)
+
+	runWith := func(transcript, label string) string {
+		execBench = func(pkg, benchRE, benchtime string, count int) ([]byte, error) {
+			if pkg != "./internal/store" {
+				t.Errorf("unexpected package %q", pkg)
+			}
+			return []byte(transcript), nil
+		}
+		path := filepath.Join(dir, "BENCH_"+label+".json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"run", "-label", label, "-pkgs", "./internal/store", "-count", "2", "-o", path}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "wrote ") {
+			t.Errorf("run stdout = %q", stdout.String())
+		}
+		return path
+	}
+
+	oldPath := runWith(sampleOutput, "old")
+	res, err := readResult(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "old" || len(res.Benchmarks) != 3 {
+		t.Fatalf("round-tripped result: label=%q benchmarks=%d", res.Label, len(res.Benchmarks))
+	}
+	if res.Benchmarks["BenchmarkMatchIndexed"].MeanNS != (345.6+351.2)/2 {
+		t.Errorf("mean = %g", res.Benchmarks["BenchmarkMatchIndexed"].MeanNS)
+	}
+
+	// Identical numbers: the gate passes.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"compare", "-old", oldPath, "-new", oldPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-compare exited %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Errorf("self-compare stdout = %q", stdout.String())
+	}
+
+	// Consistent 2x slowdown: the gate fails with exit 1.
+	slow := strings.NewReplacer(
+		"127977327", "255954654", "125000000", "250000000",
+		"61009805", "122019610", "63009805", "126019610",
+		"345.6", "691.2", "351.2", "702.4",
+	).Replace(sampleOutput)
+	newPath := runWith(slow, "new")
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"compare", "-old", oldPath, "-new", newPath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") || !strings.Contains(stdout.String(), "FAIL") {
+		t.Errorf("regressed compare stdout = %q", stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"run"},                          // missing -label
+		{"compare", "-old", "only.json"}, // missing -new
+	} {
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+	if code := run([]string{"compare", "-old", "nope.json", "-new", "nope.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing files exit = %d, want 2", code)
+	}
+}

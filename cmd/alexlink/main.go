@@ -166,16 +166,14 @@ func mustLoad(dict *rdf.Dict, path string) *store.Store {
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	st := store.New(name, dict)
-	var triples []rdf.Triple
 	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
-		triples, err = rdf.ParseTurtle(f)
+		_, err = store.LoadTurtle(st, f, store.LoadOptions{})
 	} else {
-		triples, err = rdf.NewReader(f).ReadAll()
+		_, err = store.LoadNTriples(st, f, store.LoadOptions{})
 	}
 	if err != nil {
 		fatal(err)
 	}
-	st.Load(triples)
 	return st
 }
 

@@ -70,10 +70,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fedsparql: at least one -data file or -remote endpoint is required")
 		return 2
 	}
+	var reg *obs.Registry
+	if *trace {
+		reg = obs.NewRegistry()
+		defer printMetrics(reg, stderr)
+	}
+
 	dict := rdf.NewDict()
 	var stores []*store.Store
 	for _, path := range dataFiles {
-		st, err := loadStore(dict, path)
+		st, err := loadStore(dict, path, reg)
 		if err != nil {
 			fmt.Fprintln(stderr, "fedsparql:", err)
 			return 1
@@ -103,11 +109,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	res.PartialResults = *partialOK
 	federation.SetResilience(res)
 
-	var reg *obs.Registry
-	if *trace {
-		reg = obs.NewRegistry()
+	if reg != nil {
 		federation.SetObserver(reg)
-		defer printMetrics(reg, stderr)
 	}
 
 	if *query != "" {
@@ -140,7 +143,7 @@ func printMetrics(reg *obs.Registry, stderr io.Writer) {
 	fmt.Fprintf(stderr, "metrics:\n%s\n", raw)
 }
 
-func loadStore(dict *rdf.Dict, path string) (*store.Store, error) {
+func loadStore(dict *rdf.Dict, path string, reg *obs.Registry) (*store.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -148,16 +151,14 @@ func loadStore(dict *rdf.Dict, path string) (*store.Store, error) {
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	st := store.New(name, dict)
-	var triples []rdf.Triple
 	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
-		triples, err = rdf.ParseTurtle(f)
+		_, err = store.LoadTurtle(st, f, store.LoadOptions{Obs: reg})
 	} else {
-		triples, err = rdf.NewReader(f).ReadAll()
+		_, err = store.LoadNTriples(st, f, store.LoadOptions{Obs: reg})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	st.Load(triples)
 	return st, nil
 }
 

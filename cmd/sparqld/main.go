@@ -96,7 +96,7 @@ func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 	reg := obs.NewRegistry()
 	var stores []*store.Store
 	for _, path := range opts.dataFiles {
-		st, err := load(dict, path)
+		st, err := load(dict, path, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +138,7 @@ func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 	return handler, nil
 }
 
-func load(dict *rdf.Dict, path string) (*store.Store, error) {
+func load(dict *rdf.Dict, path string, reg *obs.Registry) (*store.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -146,16 +146,14 @@ func load(dict *rdf.Dict, path string) (*store.Store, error) {
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	st := store.New(name, dict)
-	var triples []rdf.Triple
 	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
-		triples, err = rdf.ParseTurtle(f)
+		_, err = store.LoadTurtle(st, f, store.LoadOptions{Obs: reg})
 	} else {
-		triples, err = rdf.NewReader(f).ReadAll()
+		_, err = store.LoadNTriples(st, f, store.LoadOptions{Obs: reg})
 	}
 	if err != nil {
 		return nil, err
 	}
-	st.Load(triples)
 	return st, nil
 }
 

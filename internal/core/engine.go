@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alex/internal/feature"
@@ -45,12 +46,20 @@ type engineObs struct {
 // New builds an engine: it partitions the first data set round-robin
 // (§6.2) and pre-computes each partition's feature space against the
 // second data set (§3.2). ds1 should be the larger data set, as in the
-// paper. Construction is the expensive pre-processing step; it is
-// parallelized across partitions.
+// paper. Construction is the expensive pre-processing step; it runs on a
+// worker pool bounded by Config.Workers, with any surplus workers handed
+// down into the per-partition feature.Build scans. The result is
+// independent of the worker count.
 func New(ds1, ds2 *store.Store, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	subjects := ds1.Subjects()
 	parts := feature.Partition(subjects, cfg.Partitions)
+	if cfg.SpaceOptions.Workers == 0 {
+		// Partitions build concurrently already; give each Build an equal
+		// share of the budget so construction never exceeds cfg.Workers.
+		concurrent := min(len(parts), cfg.Workers)
+		cfg.SpaceOptions.Workers = max(1, cfg.Workers/max(1, concurrent))
+	}
 
 	e := &Engine{
 		cfg:              cfg,
@@ -59,20 +68,48 @@ func New(ds1, ds2 *store.Store, cfg Config) *Engine {
 		partitions:       make([]*partition, len(parts)),
 		subjectPartition: make(map[rdf.TermID]int, len(subjects)),
 	}
-	var wg sync.WaitGroup
 	for i, sub := range parts {
 		for _, s := range sub {
 			e.subjectPartition[s] = i
 		}
+	}
+	runBounded(len(parts), cfg.Workers, func(i int) {
+		space := feature.Build(ds1, parts[i], ds2, cfg.SpaceOptions)
+		e.partitions[i] = newPartition(i, space, cfg, cfg.Seed+int64(i)*7919)
+	})
+	return e
+}
+
+// runBounded invokes fn(0) … fn(n-1), each exactly once, on at most
+// workers goroutines (atomic work-stealing; serial when workers <= 1).
+// Callers rely on fn being independent per index, so the schedule cannot
+// affect results.
+func runBounded(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, sub []rdf.TermID) {
+		go func() {
 			defer wg.Done()
-			space := feature.Build(ds1, sub, ds2, cfg.SpaceOptions)
-			e.partitions[i] = newPartition(i, space, cfg, cfg.Seed+int64(i)*7919)
-		}(i, sub)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
 	}
 	wg.Wait()
-	return e
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -90,6 +127,7 @@ func (e *Engine) SetObserver(reg *obs.Registry) {
 	e.obsReg = reg
 	e.hEpisodeNS = reg.Histogram(obs.CoreEpisodeNS)
 	e.gCandidates = reg.Gauge(obs.CoreCandidates)
+	reg.Gauge(obs.CoreExploreWorkers).Set(int64(e.cfg.Workers))
 	o := &engineObs{
 		cPos:          reg.Counter(obs.CoreFeedbackPositive),
 		cNeg:          reg.Counter(obs.CoreFeedbackNegative),
@@ -172,9 +210,11 @@ func (s EpisodeStats) String() string {
 
 // RunEpisode runs one policy-evaluation / policy-improvement iteration:
 // every unconverged partition processes its share of EpisodeSize feedback
-// items in parallel, then improves its policy. judge supplies verdicts; it
-// is called concurrently and must be safe for concurrent use or wrapped by
-// SerialJudge.
+// items on the Config.Workers-bounded pool, then improves its policy.
+// judge supplies verdicts; it is called concurrently and must be safe for
+// concurrent use or wrapped by SerialJudge. Each partition draws from its
+// own seeded generator, so the stats and resulting candidate set are
+// identical at any worker count.
 func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
 	e.episode++
 	tr, t0 := e.traceEpisode()
@@ -183,17 +223,12 @@ func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
 	if share == 0 {
 		share = 1
 	}
-	var wg sync.WaitGroup
-	for _, p := range e.partitions {
-		wg.Add(1)
-		go func(p *partition) {
-			defer wg.Done()
-			sp := tr.Root().Child("partition")
-			p.runEpisode(share, judge)
-			p.endSpan(sp)
-		}(p)
-	}
-	wg.Wait()
+	runBounded(n, e.cfg.Workers, func(i int) {
+		p := e.partitions[i]
+		sp := tr.Root().Child("partition")
+		p.runEpisode(share, judge)
+		p.endSpan(sp)
+	})
 	return e.finishEpisodeObs(tr, t0)
 }
 
@@ -266,17 +301,11 @@ func (e *Engine) ApplyEpisode(items []Feedback) EpisodeStats {
 		}
 	}
 	tr, t0 := e.traceEpisode()
-	var wg sync.WaitGroup
-	for i, p := range e.partitions {
-		wg.Add(1)
-		go func(p *partition, items []Feedback) {
-			defer wg.Done()
-			sp := tr.Root().Child("partition")
-			p.applyEpisode(items)
-			p.endSpan(sp)
-		}(p, perPartition[i])
-	}
-	wg.Wait()
+	runBounded(len(e.partitions), e.cfg.Workers, func(i int) {
+		sp := tr.Root().Child("partition")
+		e.partitions[i].applyEpisode(perPartition[i])
+		e.partitions[i].endSpan(sp)
+	})
 	return e.finishEpisodeObs(tr, t0)
 }
 

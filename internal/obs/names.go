@@ -50,6 +50,24 @@ const (
 	CoreRollbacks        = "core.rollbacks"
 	CorePickGreedy       = "core.pick.greedy"
 	CorePickExplore      = "core.pick.explore"
+	// CoreExploreWorkers gauges the engine's configured worker-pool size
+	// (Config.Workers): the bound on goroutines used for space
+	// construction and episode execution.
+	CoreExploreWorkers = "core.explore.workers"
+)
+
+// Bulk data loading (internal/store load.go).
+const (
+	// LoadParallelTriples counts triples parsed by the bulk loaders
+	// (serial fallback included).
+	LoadParallelTriples = "load.parallel.triples"
+	// LoadParallelChunks counts input chunks parsed concurrently.
+	LoadParallelChunks = "load.parallel.chunks"
+	// LoadParallelWorkers gauges the worker count of the last bulk load
+	// (1 when the serial fallback ran).
+	LoadParallelWorkers = "load.parallel.workers"
+	// LoadParallelNS is the end-to-end bulk-load latency histogram.
+	LoadParallelNS = "load.parallel.ns"
 )
 
 // FedSourceMatchNS names the per-source match-latency histogram.
@@ -87,6 +105,7 @@ func MetricNames() []string {
 		CoreCandidates,
 		CoreEpisodeNS,
 		CoreExplorations,
+		CoreExploreWorkers,
 		CoreFeedbackNegative,
 		CoreFeedbackPositive,
 		CoreLinksAdded,
@@ -111,6 +130,10 @@ func MetricNames() []string {
 		FedSourceErrors,
 		FedSourceProbes,
 		FedWorkersBusy,
+		LoadParallelChunks,
+		LoadParallelNS,
+		LoadParallelTriples,
+		LoadParallelWorkers,
 	}
 }
 

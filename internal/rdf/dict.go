@@ -1,43 +1,137 @@
 package rdf
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Dict interns Terms to dense TermIDs. IDs start at 1; 0 is reserved for
 // NoTerm. A Dict is safe for concurrent use.
 //
+// The dictionary is built for concurrent loaders: the key → id map is
+// lock-striped across dictShards shards (FNV-1a of the term key picks the
+// shard), so goroutines interning disjoint terms do not serialize on one
+// mutex. Within a shard, check-then-insert is atomic: for any term, exactly
+// one id is ever assigned, even when many goroutines race to intern it —
+// concurrent Intern calls for the same term all return that single id, and
+// a Lookup that observes an id observes the same id every Intern returns.
+// Id values themselves are assigned in first-intern order from a shared
+// append-only term store, so a serial caller sees the same dense 1..N
+// assignment a pre-sharded Dict produced.
+//
+// Term, Len and Materialize read the term store without taking any lock
+// (the store publishes appends with atomics), which keeps the similarity
+// scans that materialize terms in tight loops off the interning locks
+// entirely.
+//
 // A single Dict is typically shared by all data sets participating in a
 // linking task so that TermIDs are comparable across stores.
 type Dict struct {
+	shards [dictShards]dictShard
+	terms  termStore
+}
+
+// dictShards is the power-of-two shard count of the key map.
+const dictShards = 16
+
+type dictShard struct {
 	mu    sync.RWMutex
 	byKey map[string]TermID
-	terms []Term // terms[0] is the zero Term for NoTerm
+}
+
+// shardOf picks the owning shard by FNV-1a hash of the intern key.
+func shardOf(key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return uint32(h) & (dictShards - 1)
+}
+
+// termStore is an append-only id → Term array, stored in fixed-size blocks
+// so readers never observe a reallocating backing array. Appends are
+// serialized by mu; readers are lock-free: an element is written before the
+// length is published, and readers load the length before the element, so
+// the atomics order every read after the write it observes.
+type termStore struct {
+	mu     sync.Mutex
+	blocks atomic.Pointer[[]*termBlock]
+	n      atomic.Int64 // published length, including the slot-0 sentinel
+}
+
+const (
+	termBlockBits = 10
+	termBlockSize = 1 << termBlockBits
+	termBlockMask = termBlockSize - 1
+)
+
+type termBlock [termBlockSize]Term
+
+// append stores t and returns its index as the assigned id.
+func (ts *termStore) append(t Term) TermID {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := ts.n.Load()
+	blocks := *ts.blocks.Load()
+	bi := int(n >> termBlockBits)
+	if bi == len(blocks) {
+		grown := make([]*termBlock, len(blocks)+1)
+		copy(grown, blocks)
+		grown[bi] = new(termBlock)
+		ts.blocks.Store(&grown)
+		blocks = grown
+	}
+	blocks[bi][n&termBlockMask] = t
+	ts.n.Store(n + 1)
+	return TermID(n)
+}
+
+// get returns the term at id; ok is false past the published length.
+func (ts *termStore) get(id TermID) (Term, bool) {
+	n := ts.n.Load()
+	if int64(id) >= n {
+		return Term{}, false
+	}
+	blocks := *ts.blocks.Load()
+	return blocks[id>>termBlockBits][id&termBlockMask], true
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{
-		byKey: make(map[string]TermID),
-		terms: make([]Term, 1, 1024),
+	d := &Dict{}
+	for i := range d.shards {
+		d.shards[i].byKey = make(map[string]TermID)
 	}
+	blocks := make([]*termBlock, 0, 8)
+	d.terms.blocks.Store(&blocks)
+	d.terms.append(Term{}) // slot 0 is the zero Term for NoTerm
+	return d
 }
 
-// Intern returns the id for t, assigning a fresh id on first sight.
+// Intern returns the id for t, assigning a fresh id on first sight. The
+// check-then-insert is atomic within the term's shard: racing Intern calls
+// for the same term return one id.
 func (d *Dict) Intern(t Term) TermID {
 	k := t.key()
-	d.mu.RLock()
-	id, ok := d.byKey[k]
-	d.mu.RUnlock()
+	sh := &d.shards[shardOf(k)]
+	sh.mu.RLock()
+	id, ok := sh.byKey[k]
+	sh.mu.RUnlock()
 	if ok {
 		return id
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if id, ok = d.byKey[k]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok = sh.byKey[k]; ok {
 		return id
 	}
-	id = TermID(len(d.terms))
-	d.terms = append(d.terms, t)
-	d.byKey[k] = id
+	id = d.terms.append(t)
+	sh.byKey[k] = id
 	return id
 }
 
@@ -47,28 +141,24 @@ func (d *Dict) InternIRI(iri string) TermID { return d.Intern(NewIRI(iri)) }
 // Lookup returns the id for t without interning. The second return is false
 // when the term has never been interned.
 func (d *Dict) Lookup(t Term) (TermID, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	id, ok := d.byKey[t.key()]
+	k := t.key()
+	sh := &d.shards[shardOf(k)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	id, ok := sh.byKey[k]
 	return id, ok
 }
 
 // Term returns the term for an id. It returns the zero Term for NoTerm or
-// out-of-range ids.
+// out-of-range ids. It takes no lock.
 func (d *Dict) Term(id TermID) Term {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if int(id) >= len(d.terms) {
-		return Term{}
-	}
-	return d.terms[id]
+	t, _ := d.terms.get(id)
+	return t
 }
 
 // Len returns the number of interned terms.
 func (d *Dict) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.terms) - 1
+	return int(d.terms.n.Load()) - 1
 }
 
 // Materialize converts a TripleID back to a Triple.

@@ -72,32 +72,43 @@ func (r *Reader) errf(format string, args ...any) error {
 }
 
 func (r *Reader) parseLine(line string) (Triple, error) {
+	t, err := parseNTriplesLine(line)
+	if err != nil {
+		return Triple{}, &ParseError{Line: r.line, Msg: err.Error()}
+	}
+	return t, nil
+}
+
+// parseNTriplesLine parses one non-blank, non-comment N-Triples statement.
+// Errors carry no line number; callers (the serial Reader and the chunked
+// parallel parser) attach their own position as a *ParseError.
+func parseNTriplesLine(line string) (Triple, error) {
 	p := &lineParser{in: line}
 	s, err := p.term()
 	if err != nil {
-		return Triple{}, r.errf("subject: %v", err)
+		return Triple{}, fmt.Errorf("subject: %w", err)
 	}
 	if s.Kind == KindLiteral {
-		return Triple{}, r.errf("subject must not be a literal")
+		return Triple{}, fmt.Errorf("subject must not be a literal")
 	}
 	pr, err := p.term()
 	if err != nil {
-		return Triple{}, r.errf("predicate: %v", err)
+		return Triple{}, fmt.Errorf("predicate: %w", err)
 	}
 	if pr.Kind != KindIRI {
-		return Triple{}, r.errf("predicate must be an IRI")
+		return Triple{}, fmt.Errorf("predicate must be an IRI")
 	}
 	o, err := p.term()
 	if err != nil {
-		return Triple{}, r.errf("object: %v", err)
+		return Triple{}, fmt.Errorf("object: %w", err)
 	}
 	p.skipWS()
 	if !p.consume('.') {
-		return Triple{}, r.errf("expected terminating '.'")
+		return Triple{}, fmt.Errorf("expected terminating '.'")
 	}
 	p.skipWS()
 	if !p.eof() {
-		return Triple{}, r.errf("trailing content after '.'")
+		return Triple{}, fmt.Errorf("trailing content after '.'")
 	}
 	return Triple{S: s, P: pr, O: o}, nil
 }

@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunked parallel N-Triples parsing. The input is split on line boundaries
+// into roughly equal chunks, each chunk is parsed independently on a worker
+// goroutine, and the per-chunk buffers are returned in input order — so the
+// concatenation of all chunks' triples is exactly what the serial Reader
+// would have produced, and the first error reported is the serial reader's
+// first error (earliest line wins).
+
+// ParsedChunk is the result of parsing one input chunk.
+type ParsedChunk struct {
+	// Triples holds the chunk's statements in input order.
+	Triples []Triple
+	// NewTerms holds the distinct terms of the chunk in first-occurrence
+	// order. Interning every chunk's NewTerms list in chunk order assigns
+	// exactly the ids a serial parse-and-intern loop would have assigned,
+	// which is how the bulk loaders keep parallel loading deterministic.
+	NewTerms []Term
+}
+
+// ntChunk is one line-aligned slice of the input.
+type ntChunk struct {
+	data      []byte
+	startLine int // 1-based line number of the chunk's first line
+}
+
+// splitNTriples cuts data into at most n line-aligned chunks and records
+// each chunk's starting line number for error reporting.
+func splitNTriples(data []byte, n int) []ntChunk {
+	if n < 1 {
+		n = 1
+	}
+	approx := len(data)/n + 1
+	out := make([]ntChunk, 0, n)
+	line := 1
+	for start := 0; start < len(data); {
+		end := start + approx
+		if end >= len(data) {
+			end = len(data)
+		} else if nl := bytes.IndexByte(data[end:], '\n'); nl >= 0 {
+			end += nl + 1
+		} else {
+			end = len(data)
+		}
+		out = append(out, ntChunk{data: data[start:end], startLine: line})
+		line += bytes.Count(data[start:end], []byte{'\n'})
+		start = end
+	}
+	return out
+}
+
+// parseChunk parses one chunk, mirroring the serial Reader's semantics:
+// blank lines and #-comments are skipped, and errors are *ParseError with
+// the global (whole-input) line number.
+func parseChunk(c ntChunk) (ParsedChunk, error) {
+	var out ParsedChunk
+	seen := make(map[Term]struct{})
+	note := func(t Term) {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out.NewTerms = append(out.NewTerms, t)
+		}
+	}
+	data := c.data
+	line := c.startLine - 1
+	for len(data) > 0 {
+		var raw []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			raw, data = data[:nl], data[nl+1:]
+		} else {
+			raw, data = data, nil
+		}
+		line++
+		text := strings.TrimSpace(string(raw))
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		t, err := parseNTriplesLine(text)
+		if err != nil {
+			return out, &ParseError{Line: line, Msg: err.Error()}
+		}
+		out.Triples = append(out.Triples, t)
+		note(t.S)
+		note(t.P)
+		note(t.O)
+	}
+	return out, nil
+}
+
+// ParseNTriplesChunks parses data on up to workers goroutines and returns
+// the per-chunk results in input order. On a malformed line it returns the
+// error of the earliest offending line (as the serial Reader would) and no
+// chunks. With workers <= 1 it still parses chunk by chunk, serially.
+func ParseNTriplesChunks(data []byte, workers int) ([]ParsedChunk, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := splitNTriples(data, workers*4)
+	results := make([]ParsedChunk, len(chunks))
+	errs := make([]error, len(chunks))
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					return
+				}
+				results[i], errs[i] = parseChunk(chunks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs { // chunk order = line order: earliest error wins
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

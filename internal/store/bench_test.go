@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"alex/internal/rdf"
@@ -62,6 +63,56 @@ func BenchmarkStoreAdd(b *testing.B) {
 			P: rdf.NewIRI("http://x/p"),
 			O: rdf.NewInt(int64(i)),
 		})
+	}
+}
+
+// benchDoc caches the synthetic N-Triples document shared by the loading
+// benchmarks so document generation stays off the clock.
+var benchDoc string
+
+func loadBenchDoc() string {
+	if benchDoc == "" {
+		benchDoc = genNTriples(60000, 42)
+	}
+	return benchDoc
+}
+
+// BenchmarkLoadNTriples compares the serial and parallel bulk-load paths on
+// the same ~4 MB document. The bench-gate CI job pins both variants.
+func BenchmarkLoadNTriples(b *testing.B) {
+	doc := loadBenchDoc()
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			s := New("bench", rdf.NewDict())
+			if _, err := LoadNTriples(s, strings.NewReader(doc), LoadOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			s := New("bench", rdf.NewDict())
+			if _, err := LoadNTriples(s, strings.NewReader(doc), LoadOptions{SerialThreshold: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLoadIncremental is the pre-bulk-loader baseline: the serial
+// Reader feeding Store.Add one triple at a time.
+func BenchmarkLoadIncremental(b *testing.B) {
+	doc := loadBenchDoc()
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		s := New("bench", rdf.NewDict())
+		triples, err := rdf.NewReader(strings.NewReader(doc)).ReadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Load(triples)
 	}
 }
 

@@ -6,10 +6,17 @@
 // store also exposes an Entity view — the set of (predicate, object)
 // attributes of one subject — which is the unit ALEX builds feature sets
 // from, and per-predicate statistics used by the PARIS baseline.
+//
+// Each index is lock-striped: its key space is spread over indexStripes
+// sub-maps, each with its own mutex, so the bulk-load path (AddIDs, used by
+// the parallel loaders in load.go) can populate the three indexes from
+// several goroutines without serializing on one lock. Point queries and
+// single-triple mutation keep the original coarse Store lock semantics.
 package store
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -17,10 +24,78 @@ import (
 	"alex/internal/rdf"
 )
 
-// Store is an in-memory triple store. All mutation goes through Add; reads
-// are safe for concurrent use with other reads. Concurrent mutation must be
-// externally synchronized with reads (the linking pipeline loads stores
-// fully before querying them).
+// indexStripes is the power-of-two stripe count of each triple index.
+const indexStripes = 16
+
+// indexStripe is one lock-striped sub-map of a tripleIndex.
+type indexStripe struct {
+	mu sync.Mutex
+	m  map[rdf.TermID][]int32
+}
+
+// tripleIndex maps a term id to the positions of the triples using it in
+// one position (subject, predicate or object). Keys are spread over
+// indexStripes stripes by their low bits; each stripe has its own lock so
+// concurrent bulk writers on different stripes do not contend.
+//
+// Locking protocol: every mutation of the owning Store happens under
+// Store.mu held in write mode, which excludes all readers — so reads may
+// skip the stripe locks entirely. The stripe locks exist for the writers:
+// AddIDs fans index population across goroutines under the single
+// Store.mu write lock, and the stripe mutex is what serializes two of
+// those workers landing on the same stripe.
+type tripleIndex struct {
+	stripes [indexStripes]indexStripe
+}
+
+func newTripleIndex() *tripleIndex {
+	ix := &tripleIndex{}
+	for i := range ix.stripes {
+		ix.stripes[i].m = make(map[rdf.TermID][]int32)
+	}
+	return ix
+}
+
+func (ix *tripleIndex) stripe(id rdf.TermID) *indexStripe {
+	return &ix.stripes[uint32(id)&(indexStripes-1)]
+}
+
+// add appends pos to id's posting list under the stripe lock.
+func (ix *tripleIndex) add(id rdf.TermID, pos int32) {
+	st := ix.stripe(id)
+	st.mu.Lock()
+	st.m[id] = append(st.m[id], pos)
+	st.mu.Unlock()
+}
+
+// get returns id's posting list. Callers hold Store.mu (read or write),
+// which excludes the bulk writers, so no stripe lock is needed.
+func (ix *tripleIndex) get(id rdf.TermID) []int32 { return ix.stripe(id).m[id] }
+
+// keyCount returns the number of distinct keys.
+func (ix *tripleIndex) keyCount() int {
+	n := 0
+	for i := range ix.stripes {
+		n += len(ix.stripes[i].m)
+	}
+	return n
+}
+
+// keys returns the distinct keys, unsorted.
+func (ix *tripleIndex) keys() []rdf.TermID {
+	out := make([]rdf.TermID, 0, ix.keyCount())
+	for i := range ix.stripes {
+		for id := range ix.stripes[i].m {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Store is an in-memory triple store. All mutation goes through Add/AddID/
+// AddIDs; reads are safe for concurrent use with other reads. Concurrent
+// mutation must be externally synchronized with reads (the linking pipeline
+// loads stores fully before querying them).
 type Store struct {
 	name string
 	dict *rdf.Dict
@@ -28,9 +103,9 @@ type Store struct {
 	mu      sync.RWMutex
 	triples []rdf.TripleID
 	present map[rdf.TripleID]struct{}
-	bySubj  map[rdf.TermID][]int32 // positions in triples
-	byPred  map[rdf.TermID][]int32
-	byObj   map[rdf.TermID][]int32
+	ixSubj  *tripleIndex
+	ixPred  *tripleIndex
+	ixObj   *tripleIndex
 	// subjects in insertion order, for deterministic iteration
 	subjects []rdf.TermID
 
@@ -43,6 +118,10 @@ type Store struct {
 	probeScan  *obs.Counter
 	matchRows  *obs.Counter
 	triplesOut *obs.Gauge
+
+	// reg is the attached registry (nil when detached), used by the bulk
+	// loaders to resolve their load.parallel.* instruments.
+	reg *obs.Registry
 }
 
 // New returns an empty store named name over dict. The name identifies the
@@ -52,9 +131,9 @@ func New(name string, dict *rdf.Dict) *Store {
 		name:    name,
 		dict:    dict,
 		present: make(map[rdf.TripleID]struct{}),
-		bySubj:  make(map[rdf.TermID][]int32),
-		byPred:  make(map[rdf.TermID][]int32),
-		byObj:   make(map[rdf.TermID][]int32),
+		ixSubj:  newTripleIndex(),
+		ixPred:  newTripleIndex(),
+		ixObj:   newTripleIndex(),
 	}
 }
 
@@ -69,6 +148,7 @@ func (s *Store) Name() string { return s.name }
 func (s *Store) SetObserver(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.reg = reg
 	s.probeSubj = reg.Counter(obs.StoreProbeSubject(s.name))
 	s.probeObj = reg.Counter(obs.StoreProbeObject(s.name))
 	s.probePred = reg.Counter(obs.StoreProbePredicate(s.name))
@@ -101,14 +181,100 @@ func (s *Store) AddID(t rdf.TripleID) bool {
 	pos := int32(len(s.triples))
 	s.triples = append(s.triples, t)
 	s.present[t] = struct{}{}
-	if _, seen := s.bySubj[t.S]; !seen {
+	if s.ixSubj.get(t.S) == nil {
 		s.subjects = append(s.subjects, t.S)
 	}
-	s.bySubj[t.S] = append(s.bySubj[t.S], pos)
-	s.byPred[t.P] = append(s.byPred[t.P], pos)
-	s.byObj[t.O] = append(s.byObj[t.O], pos)
+	s.ixSubj.add(t.S, pos)
+	s.ixPred.add(t.P, pos)
+	s.ixObj.add(t.O, pos)
 	s.triplesOut.Set(int64(len(s.triples)))
 	return true
+}
+
+// bulkIndexThreshold is the batch size below which AddIDs populates the
+// indexes serially — goroutine fan-out costs more than it saves on small
+// batches.
+const bulkIndexThreshold = 4096
+
+// AddIDs bulk-inserts pre-interned triples in order, skipping duplicates,
+// and returns the number of triples added. It is equivalent to calling
+// AddID for each element but takes the store lock once and, for large
+// batches, populates the three indexes in parallel under their striped
+// locks. The insertion order — and therefore every index posting list and
+// the subject first-sight order — is identical to the serial loop's.
+func (s *Store) AddIDs(ids []rdf.TripleID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := int32(len(s.triples))
+	// Serial phase: dedup and position assignment, which fix the insertion
+	// order everything downstream (Match order, snapshots) depends on.
+	for _, t := range ids {
+		if _, dup := s.present[t]; dup {
+			continue
+		}
+		s.present[t] = struct{}{}
+		s.triples = append(s.triples, t)
+	}
+	added := s.triples[base:]
+	if len(added) == 0 {
+		return 0
+	}
+	// Subject first-sight order: pre-batch subjects are known to ixSubj;
+	// in-batch first sights are tracked locally, in position order.
+	inBatch := make(map[rdf.TermID]struct{})
+	for _, t := range added {
+		if _, seen := inBatch[t.S]; seen {
+			continue
+		}
+		inBatch[t.S] = struct{}{}
+		if s.ixSubj.get(t.S) == nil {
+			s.subjects = append(s.subjects, t.S)
+		}
+	}
+	// Index population. Each (index, position-extractor) pair fans out over
+	// stripe groups: worker g of G handles only the keys whose stripe ≡ g
+	// (mod G), so each stripe has exactly one writer per batch and posting
+	// lists stay in position order. The stripe locks still guard the
+	// occasional cross-group collision by construction cost only.
+	indexes := [3]struct {
+		ix  *tripleIndex
+		key func(rdf.TripleID) rdf.TermID
+	}{
+		{s.ixSubj, func(t rdf.TripleID) rdf.TermID { return t.S }},
+		{s.ixPred, func(t rdf.TripleID) rdf.TermID { return t.P }},
+		{s.ixObj, func(t rdf.TripleID) rdf.TermID { return t.O }},
+	}
+	groups := runtime.GOMAXPROCS(0) / len(indexes)
+	if len(added) < bulkIndexThreshold || groups < 2 {
+		for _, x := range indexes {
+			for i, t := range added {
+				x.ix.add(x.key(t), base+int32(i))
+			}
+		}
+	} else {
+		if groups > indexStripes {
+			groups = indexStripes
+		}
+		var wg sync.WaitGroup
+		for _, x := range indexes {
+			for g := 0; g < groups; g++ {
+				wg.Add(1)
+				go func(ix *tripleIndex, key func(rdf.TripleID) rdf.TermID, g int) {
+					defer wg.Done()
+					for i, t := range added {
+						k := key(t)
+						if int(uint32(k)&(indexStripes-1))%groups != g {
+							continue
+						}
+						ix.add(k, base+int32(i))
+					}
+				}(x.ix, x.key, g)
+			}
+		}
+		wg.Wait()
+	}
+	s.triplesOut.Set(int64(len(s.triples)))
+	return len(added)
 }
 
 // Len returns the number of triples.
@@ -147,13 +313,13 @@ func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
 	switch {
 	case subj != rdf.NoTerm:
 		s.probeSubj.Inc()
-		candidates = s.bySubj[subj]
+		candidates = s.ixSubj.get(subj)
 	case obj != rdf.NoTerm:
 		s.probeObj.Inc()
-		candidates = s.byObj[obj]
+		candidates = s.ixObj.get(obj)
 	case pred != rdf.NoTerm:
 		s.probePred.Inc()
-		candidates = s.byPred[pred]
+		candidates = s.ixPred.get(pred)
 	default:
 		s.probeScan.Inc()
 		out := make([]rdf.TripleID, len(s.triples))
@@ -220,10 +386,7 @@ func (s *Store) Subjects() []rdf.TermID {
 func (s *Store) Predicates() []rdf.TermID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]rdf.TermID, 0, len(s.byPred))
-	for p := range s.byPred {
-		out = append(out, p)
-	}
+	out := s.ixPred.keys()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -233,14 +396,14 @@ func (s *Store) Predicates() []rdf.TermID {
 func (s *Store) HasPredicate(p rdf.TermID) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byPred[p]) > 0
+	return len(s.ixPred.get(p)) > 0
 }
 
 // PredicateCount returns the number of triples using the predicate.
 func (s *Store) PredicateCount(p rdf.TermID) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byPred[p])
+	return len(s.ixPred.get(p))
 }
 
 // Entity is the attribute view of one subject: parallel slices of predicate
@@ -259,7 +422,7 @@ func (e Entity) Len() int { return len(e.Preds) }
 func (s *Store) Entity(subj rdf.TermID) (Entity, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	positions := s.bySubj[subj]
+	positions := s.ixSubj.get(subj)
 	if len(positions) == 0 {
 		return Entity{}, false
 	}
@@ -292,7 +455,7 @@ func (s *Store) Stats() Stats {
 		Name:       s.name,
 		Triples:    len(s.triples),
 		Subjects:   len(s.subjects),
-		Predicates: len(s.byPred),
+		Predicates: s.ixPred.keyCount(),
 	}
 }
 
@@ -317,7 +480,7 @@ func (s *Store) Load(triples []rdf.Triple) {
 func (s *Store) Functionality(p rdf.TermID) float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	positions := s.byPred[p]
+	positions := s.ixPred.get(p)
 	if len(positions) == 0 {
 		return 0
 	}
