@@ -4,10 +4,12 @@
 GO ?= go
 
 # The benchmarks pinned by the CI regression gate: bulk loading, dictionary
-# interning, exploration (feature-space range scans and engine episodes)
-# and the federated join reorderer. Keep this list in sync with the
+# interning, exploration (feature-space range scans and engine episodes),
+# the single-store slot engine (A/B vs the legacy evaluator, planned vs
+# written join order) and the federated processor (join reorderer plus an
+# end-to-end cross-source join). Keep this list in sync with the
 # "Performance" section of README.md.
-BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkFedJoinReorder)$$
+BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd)$$
 BENCH_GATE_PKGS = .,./internal/store,./internal/rdf
 BENCH_COUNT    ?= 5
 # Time-based so sub-millisecond benchmarks average many iterations (one
@@ -27,7 +29,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/... ./internal/rdf/... ./internal/feature/... ./internal/experiment/...
+	$(GO) test -race ./internal/sparql/... ./internal/fed/... ./internal/endpoint/... ./internal/core/... ./internal/obs/... ./internal/store/... ./internal/rdf/... ./internal/feature/... ./internal/experiment/...
 
 fuzz:
 	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzNTriples$$' -fuzztime 10s

@@ -25,6 +25,7 @@ import (
 	"alex/internal/rdf"
 	"alex/internal/sim"
 	"alex/internal/sparql"
+	"alex/internal/store"
 )
 
 // benchSeed keeps every benchmark deterministic.
@@ -330,6 +331,62 @@ func BenchmarkSPARQLExecuteJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalSlotRows is the slot-engine headline A/B: the same
+// two-pattern join through the production slot engine and through the
+// legacy map-based engine it replaced. The interesting number is
+// allocs/op — late materialization's whole point.
+func BenchmarkEvalSlotRows(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	q, err := sparql.Parse(`SELECT ?p ?t WHERE {
+		?p <http://dbpedia.sim/ontology/position> "PG" .
+		?p <http://dbpedia.sim/ontology/team> ?t .
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		eval func(*store.Store, *sparql.Query) (*sparql.Result, error)
+	}{{"slot", sparql.Eval}, {"compat", sparql.EvalCompat}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.eval(pair.DS1, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalPlanOrder measures the single-store selectivity planner: a
+// join written worst-pattern-first (an unselective label scan ahead of an
+// exact position probe), planned vs written order.
+func BenchmarkEvalPlanOrder(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	q, err := sparql.Parse(`SELECT ?p ?t WHERE {
+		?p <http://dbpedia.sim/ontology/label> ?anything .
+		?p <http://dbpedia.sim/ontology/position> "PG" .
+		?p <http://dbpedia.sim/ontology/team> ?t .
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts sparql.EvalOptions
+	}{{"planned", sparql.EvalOptions{}}, {"naive", sparql.EvalOptions{DisablePlan: true}}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.EvalWithOptions(pair.DS1, q, nil, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSimilarityStringSim(b *testing.B) {
 	pairs := [][2]string{
 		{"LeBron James", "James, LeBron"},
@@ -516,6 +573,27 @@ func BenchmarkFedJoinReorder(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFedQueryEndToEnd is the federated hot path end to end: a
+// cross-data-set join on the default (serial, reordered) configuration,
+// exercising bound joins through the compiled batch matchers and sameAs
+// rewriting through the id-level substitution path.
+func BenchmarkFedQueryEndToEnd(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(0.5, benchSeed))
+	federation := fed.New(pair.Dict, pair.DS1, pair.DS2)
+	federation.SetLinks(pair.Truth)
+	query := `SELECT ?p ?name WHERE {
+		?p <http://dbpedia.sim/ontology/position> "PG" .
+		?p <http://nytimes.sim/ontology/prefLabel> ?name .
+	}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := federation.Execute(query); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -55,6 +55,19 @@ type Result struct {
 	IsAsk   bool
 	Boolean bool
 	Triples []rdf.Triple
+
+	// slots, when set (single-store handler), holds the result still in id
+	// space; the handler serializes it directly, decoding each term exactly
+	// once at the JSON boundary, and Rows stays nil.
+	slots *sparql.SlotResult
+}
+
+// rowCount is the solution-row count regardless of representation.
+func (r *Result) rowCount() int {
+	if r.slots != nil {
+		return r.slots.Len()
+	}
+	return len(r.Rows)
 }
 
 // Query sends a SPARQL query and decodes the JSON response.

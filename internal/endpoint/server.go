@@ -109,11 +109,11 @@ func storeQuery(st *store.Store, query string) (*Result, error) {
 	if err != nil {
 		return nil, &BadQueryError{Err: err}
 	}
-	res, err := sparql.Eval(st, q)
+	res, err := sparql.EvalSlots(st, q)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Vars: res.Vars, Rows: res.Rows, Triples: res.Triples}
+	out := &Result{Vars: res.Vars, Triples: res.Triples, slots: res}
 	if q.Ask {
 		out.IsAsk = true
 		out.Boolean = res.AskResult()
@@ -128,11 +128,11 @@ func storeTraceQuery(st *store.Store, query string) (*Result, *obs.Trace, error)
 		return nil, nil, &BadQueryError{Err: err}
 	}
 	tr := obs.NewTrace("query")
-	res, err := sparql.EvalTrace(st, q, tr)
+	res, err := sparql.EvalSlotsTrace(st, q, tr, sparql.EvalOptions{})
 	if err != nil {
 		return nil, tr, err
 	}
-	out := &Result{Vars: res.Vars, Rows: res.Rows, Triples: res.Triples}
+	out := &Result{Vars: res.Vars, Triples: res.Triples, slots: res}
 	if q.Ask {
 		out.IsAsk = true
 		out.Boolean = res.AskResult()
@@ -208,6 +208,10 @@ func (h *Handler) serveQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, askDocument{Head: headDocument{}, Boolean: res.Boolean})
 		return
 	}
+	if res.slots != nil {
+		writeJSON(w, encodeSelectSlots(res.Vars, res.slots))
+		return
+	}
 	writeJSON(w, encodeSelect(res.Vars, res.Rows))
 }
 
@@ -242,7 +246,7 @@ func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%d rows\n\n%s", len(res.Rows), tr.String())
+	fmt.Fprintf(w, "%d rows\n\n%s", res.rowCount(), tr.String())
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -304,6 +308,22 @@ type selectDocument struct {
 type askDocument struct {
 	Head    headDocument `json:"head"`
 	Boolean bool         `json:"boolean"`
+}
+
+// encodeSelectSlots builds the results document straight from a slot
+// result: each term is decoded exactly once, here at the JSON boundary,
+// with no intermediate Binding maps.
+func encodeSelectSlots(vars []string, sr *sparql.SlotResult) selectDocument {
+	doc := selectDocument{Head: headDocument{Vars: vars}}
+	doc.Results.Bindings = make([]map[string]termDocument, 0, sr.Len())
+	for i := 0; i < sr.Len(); i++ {
+		b := make(map[string]termDocument)
+		sr.EachBinding(i, func(v string, t rdf.Term) {
+			b[v] = encodeTerm(t)
+		})
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	return doc
 }
 
 func encodeSelect(vars []string, rows []sparql.Binding) selectDocument {

@@ -479,14 +479,24 @@ func sortAnswers(answers []Answer, keys []sparql.OrderKey) {
 
 func dedupeAnswers(vars []string, answers []Answer) []Answer {
 	seen := make(map[string]struct{}, len(answers))
+	// Per-call term interner: dedupe keys are fixed-width tuples of small
+	// ids (0 = unbound) instead of concatenated term strings.
+	intern := make(map[rdf.Term]uint32, len(answers))
+	key := make([]byte, 0, 4*len(vars))
 	out := answers[:0]
 	for _, a := range answers {
-		var key []byte
+		key = key[:0]
 		for _, v := range vars {
+			var id uint32
 			if t, ok := a.Binding[v]; ok {
-				key = append(key, t.String()...)
+				iid, hit := intern[t]
+				if !hit {
+					iid = uint32(len(intern)) + 1
+					intern[t] = iid
+				}
+				id = iid
 			}
-			key = append(key, 0x1f)
+			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 		}
 		if _, dup := seen[string(key)]; dup {
 			continue
@@ -734,12 +744,30 @@ func (f *Federation) extendRows(es *evalState, pp plannedPattern, rows []row, ps
 	f.hBatchRows.Observe(int64(len(rows)))
 	workers := f.parallel
 	if workers <= 1 || len(rows) < 2*workers {
+		// Serial batch: compile the pattern once per capable source so
+		// constant resolution and bound-term interning amortize over the
+		// whole row batch. Only without resilience or metrics — the batch
+		// matcher bypasses the retry/timing wrappers, and its memo cache is
+		// unsynchronized (which is also why the parallel branch passes nil).
+		var matchers map[Source]func(sparql.Binding) []sparql.Binding
+		if !f.resOn && f.obsReg == nil {
+			for _, src := range pp.sources {
+				bm, ok := src.(BatchMatcher)
+				if !ok {
+					continue
+				}
+				if matchers == nil {
+					matchers = make(map[Source]func(sparql.Binding) []sparql.Binding, len(pp.sources))
+				}
+				matchers[src] = bm.BatchMatcher(pp.tp)
+			}
+		}
 		var next []row
 		for _, r := range rows {
 			if err := es.ctx.Err(); err != nil {
 				return nil, err
 			}
-			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, psp)
+			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, matchers, psp)
 			if err != nil {
 				return nil, err
 			}
@@ -763,7 +791,7 @@ func (f *Federation) extendRows(es *evalState, pp plannedPattern, rows []row, ps
 			defer func() { <-sem }()
 			f.gWorkersBusy.Add(1)
 			defer f.gWorkersBusy.Add(-1)
-			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, psp)
+			matched, err := f.matchAcross(es, pp.sources, pp.tp, r, nil, psp)
 			results[i] = chunk{rows: matched, err: err}
 		}(i, r)
 	}
@@ -840,14 +868,21 @@ func (f *Federation) hasPredicate(es *evalState, src Source, pred rdf.Term) (boo
 // sources, applying sameAs rewriting to bound subject/object entity terms.
 // Under Resilience.PartialResults a source that fails past its retry
 // budget is skipped for the remainder of the query instead of failing it.
-func (f *Federation) matchAcross(es *evalState, sources []Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
+func (f *Federation) matchAcross(es *evalState, sources []Source, tp sparql.TriplePattern, r row, matchers map[Source]func(sparql.Binding) []sparql.Binding, psp *obs.Span) ([]row, error) {
 	var out []row
 	for _, src := range sources {
 		if f.resOn && es.isSkipped(src.Name()) {
 			continue
 		}
-		// Direct match, no link used.
-		bs, err := f.timedMatch(es, src, tp, r.b)
+		// Direct match, no link used. A batch matcher (serial bound joins
+		// only, see extendRows) skips the per-call pattern recompilation.
+		var bs []sparql.Binding
+		var err error
+		if m := matchers[src]; m != nil {
+			bs = m(r.b)
+		} else {
+			bs, err = f.timedMatch(es, src, tp, r.b)
+		}
 		if err != nil {
 			if err = f.degrade(es, src, err); err != nil {
 				return nil, err
@@ -901,22 +936,44 @@ func (f *Federation) timedMatch(es *evalState, src Source, tp sparql.TriplePatte
 // subject and/or object of the pattern and records the links used.
 func (f *Federation) rewrittenMatches(es *evalState, src Source, tp sparql.TriplePattern, r row, psp *obs.Span) ([]row, error) {
 	var out []row
+	// Sources sharing the federation dictionary accept the equivalence
+	// edge's id directly (MatchSubst), skipping the id → term → pattern →
+	// id round trip. Only without resilience or metrics: MatchSubst
+	// bypasses the retry/timing wrappers of timedMatch.
+	sm, smOK := src.(SubstMatcher)
+	smOK = smOK && !f.resOn && f.obsReg == nil && sm.SubstDict() == f.dict
 	trySubst := func(pos int, orig rdf.Term, edge equivEdge) error {
-		substTerm := f.dict.Term(edge.to)
-		np := tp
+		// The matched rows keep the variable's ORIGINAL binding (the user
+		// sees one entity; the link supplied the alias).
+		f.cRewrites.Inc()
 		var varName string
 		switch pos {
 		case 0:
 			varName = tp.S.Var
-			np.S = sparql.TermNode(substTerm)
 		case 2:
 			varName = tp.O.Var
-			np.O = sparql.TermNode(substTerm)
 		}
-		// Match the rewritten pattern; the variable keeps its ORIGINAL
-		// binding (the user sees one entity; the link supplied the alias).
-		f.cRewrites.Inc()
-		bs, err := f.timedMatch(es, src, np, r.b)
+		var bs []sparql.Binding
+		var err error
+		if smOK {
+			var sSub, oSub rdf.TermID
+			if pos == 0 {
+				sSub = edge.to
+			} else {
+				oSub = edge.to
+			}
+			bs, err = sm.MatchSubst(es.ctx, tp, r.b, sSub, oSub)
+		} else {
+			substTerm := f.dict.Term(edge.to)
+			np := tp
+			switch pos {
+			case 0:
+				np.S = sparql.TermNode(substTerm)
+			case 2:
+				np.O = sparql.TermNode(substTerm)
+			}
+			bs, err = f.timedMatch(es, src, np, r.b)
+		}
 		if err != nil {
 			return err
 		}

@@ -33,6 +33,32 @@ type Source interface {
 	Match(ctx context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error)
 }
 
+// SubstMatcher is an optional Source capability: matching with the
+// subject and/or object position overridden by an already-resolved
+// dictionary id. The federation uses it for sameAs rewriting — the
+// equivalence closure stores alias ids, so a source that shares the
+// federation's dictionary can match the alias without a term round trip.
+type SubstMatcher interface {
+	// SubstDict returns the dictionary whose ids MatchSubst accepts. The
+	// federation only takes this path when it is identical (same pointer)
+	// to its own shared dictionary.
+	SubstDict() *rdf.Dict
+	// MatchSubst is Match with the subject and/or object overridden by a
+	// resolved id (rdf.NoTerm means no override). An overridden position
+	// matches the id without binding any pattern variable there.
+	MatchSubst(ctx context.Context, tp sparql.TriplePattern, binding sparql.Binding, sSubst, oSubst rdf.TermID) ([]sparql.Binding, error)
+}
+
+// BatchMatcher is an optional Source capability: a per-batch compiled
+// matcher for one triple pattern. Bound joins call the same pattern once
+// per input row; a compiled matcher resolves the pattern's constants once
+// and memoizes bound-term lookups across the whole batch. The returned
+// function is not safe for concurrent use, so the federation only uses it
+// on the serial bound-join path.
+type BatchMatcher interface {
+	BatchMatcher(tp sparql.TriplePattern) func(sparql.Binding) []sparql.Binding
+}
+
 // localSource adapts an in-process store.
 type localSource struct {
 	st *store.Store
@@ -63,6 +89,16 @@ func (s localSource) Size(context.Context) (int, error) { return s.st.Len(), nil
 
 func (s localSource) Match(_ context.Context, tp sparql.TriplePattern, binding sparql.Binding) ([]sparql.Binding, error) {
 	return sparql.MatchPattern(s.st, tp, binding), nil
+}
+
+func (s localSource) SubstDict() *rdf.Dict { return s.st.Dict() }
+
+func (s localSource) MatchSubst(_ context.Context, tp sparql.TriplePattern, binding sparql.Binding, sSubst, oSubst rdf.TermID) ([]sparql.Binding, error) {
+	return sparql.MatchPatternSubst(s.st, tp, binding, sSubst, oSubst), nil
+}
+
+func (s localSource) BatchMatcher(tp sparql.TriplePattern) func(sparql.Binding) []sparql.Binding {
+	return sparql.NewPatternMatcher(s.st, tp).Match
 }
 
 // EndpointQueryFunc adapts the federation as an endpoint.QueryFunc, so a

@@ -38,6 +38,21 @@ const (
 	EndpointRequestNS = "endpoint.request_ns"
 )
 
+// Single-store SPARQL engine (internal/sparql).
+const (
+	// SparqlPlanReorders counts BGPs whose pattern order the selectivity
+	// planner changed from the written order.
+	SparqlPlanReorders = "sparql.plan.reorders"
+	// SparqlRowsMaterialized counts slot rows decoded into Binding maps
+	// at the result boundary (late materialization's actual cost).
+	SparqlRowsMaterialized = "sparql.rows.materialized"
+)
+
+// SparqlStageRows names the output-cardinality histogram of one
+// evaluation stage (bgp, filter, optional, union, values, exists, path,
+// bind).
+func SparqlStageRows(stage string) string { return "sparql.stage." + stage + ".rows" }
+
 // ALEX engine (internal/core).
 const (
 	CoreEpisodeNS        = "core.episode_ns"
@@ -134,6 +149,8 @@ func MetricNames() []string {
 		LoadParallelNS,
 		LoadParallelTriples,
 		LoadParallelWorkers,
+		SparqlPlanReorders,
+		SparqlRowsMaterialized,
 	}
 }
 
@@ -145,6 +162,7 @@ func MetricPatterns() []string {
 		"endpoint.status.<code>",
 		FedBreakerState("<source>"),
 		FedSourceMatchNS("<source>"),
+		SparqlStageRows("<stage>"),
 		StoreProbeObject("<dataset>"),
 		StoreProbePredicate("<dataset>"),
 		StoreProbeScan("<dataset>"),

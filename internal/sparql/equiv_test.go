@@ -1,0 +1,266 @@
+package sparql
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// This file is the slot-engine equivalence harness: every query in the
+// corpus (plus every parseable fuzz seed) runs through both the legacy
+// map-based engine (EvalCompat) and the slot engine (Eval), with and
+// without the selectivity planner, and the results must be identical up
+// to row order. The slot engine is the production path; the legacy engine
+// is its executable specification.
+
+// equivCorpus exercises every pattern and finalize feature the engine
+// supports. Queries referencing absent predicates are deliberate: empty
+// intermediate results take different code paths.
+var equivCorpus = []string{
+	// Plain BGPs, projection, SELECT *.
+	`SELECT ?n WHERE { <http://x/alice> <http://x/name> ?n }`,
+	`SELECT * WHERE { ?s <http://x/age> ?a }`,
+	`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . ?s <http://x/age> ?a }`,
+	`SELECT ?p WHERE { <http://x/alice> ?p ?o }`,
+	`SELECT ?s WHERE { ?s a <http://x/Person> }`,
+	`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`,
+	`SELECT ?x WHERE { ?x <http://x/self> ?x }`,
+	`SELECT ?x ?p WHERE { ?x ?p ?x }`,
+	`SELECT ?s WHERE { ?s <http://x/nonexistent> ?o }`,
+	// Multi-pattern joins in deliberately bad written order (planner food).
+	`SELECT ?n WHERE { ?s ?p ?o . ?s <http://x/knows> ?k . ?k <http://x/name> ?n }`,
+	`SELECT ?a ?b WHERE { ?a <http://x/knows> ?b . ?b <http://x/age> ?n . ?a <http://x/name> ?m }`,
+	// DISTINCT, ORDER BY, LIMIT, OFFSET.
+	`SELECT DISTINCT ?p WHERE { ?s ?p ?o }`,
+	`SELECT ?s ?a WHERE { ?s <http://x/age> ?a } ORDER BY ?a`,
+	`SELECT ?s ?a WHERE { ?s <http://x/age> ?a } ORDER BY DESC(?a) LIMIT 1`,
+	`SELECT ?s ?a WHERE { ?s <http://x/age> ?a } ORDER BY ?a OFFSET 2`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a } OFFSET 99`,
+	`SELECT DISTINCT ?o WHERE { ?s <http://x/knows> ?o } ORDER BY ?o LIMIT 2`,
+	// FILTER.
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?a >= 18 && ?a < 65) }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(?n != "Bob") }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(!(?n = "Bob")) }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(REGEX(?n, "^[AC]")) }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(CONTAINS(?n, "aro")) }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(?missing > 5) }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(STR(?s) != "") }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . FILTER(ISIRI(?s) || ?a > 100) }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(BOUND(?n) && !BOUND(?zzz)) }`,
+	// OPTIONAL (bound and unbound extensions).
+	`SELECT ?s ?k WHERE { ?s <http://x/name> ?n . OPTIONAL { ?s <http://x/knows> ?k } }`,
+	`SELECT ?s ?k WHERE { ?s <http://x/name> ?n . OPTIONAL { ?s <http://x/missing> ?k } }`,
+	`SELECT ?s ?k ?kn WHERE { ?s <http://x/age> ?a . OPTIONAL { ?s <http://x/knows> ?k . ?k <http://x/name> ?kn } }`,
+	// UNION.
+	`SELECT ?x WHERE { { ?x <http://x/knows> ?y } UNION { ?y <http://x/knows> ?x } }`,
+	`SELECT ?x ?n WHERE { { ?x <http://x/name> ?n } UNION { ?x <http://x/missing> ?n } }`,
+	// VALUES (incl. UNDEF and join against bound vars).
+	`SELECT ?s ?n WHERE { VALUES ?s { <http://x/alice> <http://x/bob> } ?s <http://x/name> ?n }`,
+	`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . VALUES ?n { "Alice" "Nobody" } }`,
+	`SELECT ?s ?v WHERE { ?s <http://x/name> ?n . VALUES (?n ?v) { ("Alice" 1) (UNDEF 2) } }`,
+	// EXISTS / NOT EXISTS.
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER EXISTS { ?s <http://x/knows> ?k } }`,
+	`SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER NOT EXISTS { ?s <http://x/knows> ?k } }`,
+	// BIND (fresh var, error keeps row, equality-filter on bound var).
+	`SELECT ?s ?d WHERE { ?s <http://x/age> ?a . BIND(?a * 2 AS ?d) }`,
+	`SELECT ?s ?d WHERE { ?s <http://x/name> ?n . BIND(?n + 1 AS ?d) }`,
+	`SELECT ?s WHERE { ?s <http://x/age> ?a . BIND(30 AS ?a) }`,
+	// Property paths.
+	`SELECT ?x ?y WHERE { ?x <http://x/knows>/<http://x/knows> ?y }`,
+	`SELECT ?x WHERE { <http://x/carol> <http://x/knows>+ ?x } ORDER BY ?x`,
+	`SELECT ?x WHERE { <http://x/carol> <http://x/knows>* ?x } ORDER BY ?x`,
+	`SELECT ?x WHERE { <http://x/bob> ^<http://x/knows> ?x }`,
+	`SELECT ?x WHERE { <http://x/alice> (<http://x/knows>|<http://x/missing>) ?x }`,
+	`SELECT ?x WHERE { <http://x/alice> <http://x/knows>? ?x }`,
+	// ASK.
+	`ASK { <http://x/alice> <http://x/knows> <http://x/bob> }`,
+	`ASK { <http://x/bob> <http://x/knows> ?anyone }`,
+	// CONSTRUCT (incl. invalid-triple filtering and dedupe).
+	`CONSTRUCT { ?s <http://out/hasName> ?n } WHERE { ?s <http://x/name> ?n }`,
+	`CONSTRUCT { ?n <http://out/of> ?s } WHERE { ?s <http://x/name> ?n }`,
+	`CONSTRUCT { <http://out/g> <http://out/size> "big" } WHERE { ?s <http://x/name> ?n }`,
+	`CONSTRUCT { ?s <http://out/knew> ?k } WHERE { ?s <http://x/age> ?a . OPTIONAL { ?s <http://x/knows> ?k } }`,
+	// Aggregates (grouped, ungrouped, empty input, DISTINCT, error case).
+	`SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/age> ?a }`,
+	`SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/missing> ?a }`,
+	`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s ?p ?o }`,
+	`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p`,
+	`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?n`,
+	`SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?s <http://x/age> ?a }`,
+	`SELECT (SUM(?a) AS ?t) (AVG(?a) AS ?m) WHERE { ?s <http://x/age> ?a }`,
+	`SELECT (SUM(?n) AS ?t) WHERE { ?s <http://x/name> ?n }`,
+	`SELECT ?s (COUNT(?k) AS ?n) WHERE { ?s <http://x/age> ?a . OPTIONAL { ?s <http://x/knows> ?k } } GROUP BY ?s ORDER BY ?s`,
+}
+
+// loadFuzzSeeds returns the string inputs of the checked-in go-fuzz seed
+// corpora (format: "go test fuzz v1" header, then one quoted string line).
+func loadFuzzSeeds(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, dir := range []string{"FuzzParse", "FuzzTokenize"} {
+		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", dir))
+		if err != nil {
+			t.Fatalf("reading seed corpus %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join("testdata", "fuzz", dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(b), "\n") {
+				line = strings.TrimSpace(line)
+				if !strings.HasPrefix(line, `string(`) {
+					continue
+				}
+				q, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(line, "string("), ")"))
+				if err != nil {
+					t.Fatalf("seed %s/%s: %v", dir, e.Name(), err)
+				}
+				out = append(out, q)
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no fuzz seeds found")
+	}
+	return out
+}
+
+// canonRows renders a row multiset order-independently: one sorted
+// var=term string per row, rows sorted.
+func canonRows(rows []Binding) []string {
+	out := make([]string, 0, len(rows))
+	for _, b := range rows {
+		vars := make([]string, 0, len(b))
+		for v := range b {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var sb strings.Builder
+		for _, v := range vars {
+			sb.WriteString(v)
+			sb.WriteByte('=')
+			sb.WriteString(b[v].String())
+			sb.WriteByte(';')
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func canonTriples(ts []rdf.Triple) []string {
+	out := make([]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkEquivalence runs q through the legacy engine and one slot-engine
+// configuration and fails on any observable difference.
+func checkEquivalence(t *testing.T, st *store.Store, query string, q *Query, opts EvalOptions, label string) {
+	t.Helper()
+	want, wantErr := EvalCompat(st, q)
+	got, gotErr := EvalWithOptions(st, q, nil, opts)
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("%s: %q: legacy err=%v, slot err=%v", label, query, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	if q.Ask {
+		if want.AskResult() != got.AskResult() {
+			t.Fatalf("%s: %q: legacy ask=%v, slot ask=%v", label, query, want.AskResult(), got.AskResult())
+		}
+		return
+	}
+	if strings.Join(want.Vars, ",") != strings.Join(got.Vars, ",") {
+		t.Fatalf("%s: %q: legacy vars=%v, slot vars=%v", label, query, want.Vars, got.Vars)
+	}
+	wantRows, gotRows := canonRows(want.Rows), canonRows(got.Rows)
+	if len(wantRows) != len(gotRows) {
+		t.Fatalf("%s: %q: legacy %d rows, slot %d rows\nlegacy: %v\nslot:   %v",
+			label, query, len(wantRows), len(gotRows), wantRows, gotRows)
+	}
+	for i := range wantRows {
+		if wantRows[i] != gotRows[i] {
+			t.Fatalf("%s: %q: row %d differs\nlegacy: %s\nslot:   %s", label, query, i, wantRows[i], gotRows[i])
+		}
+	}
+	// Row order must also agree when the query fixes it.
+	if len(q.OrderBy) > 0 {
+		for i := range want.Rows {
+			wv, gv := canonRows(want.Rows[i:i+1]), canonRows(got.Rows[i:i+1])
+			if wv[0] != gv[0] {
+				t.Fatalf("%s: %q: ordered row %d differs\nlegacy: %s\nslot:   %s", label, query, i, wv[0], gv[0])
+			}
+		}
+	}
+	wantTs, gotTs := canonTriples(want.Triples), canonTriples(got.Triples)
+	if strings.Join(wantTs, "\n") != strings.Join(gotTs, "\n") {
+		t.Fatalf("%s: %q: constructed graphs differ\nlegacy: %v\nslot:   %v", label, query, wantTs, gotTs)
+	}
+}
+
+// TestSlotEngineEquivalence is the harness entry point: the curated
+// corpus plus every parseable fuzz seed, against the shared fixture
+// store, with the planner on and off.
+func TestSlotEngineEquivalence(t *testing.T) {
+	st := peopleStore(t)
+	queries := append([]string{}, equivCorpus...)
+	queries = append(queries, loadFuzzSeeds(t)...)
+	parsed := 0
+	for _, query := range queries {
+		q, err := Parse(query)
+		if err != nil {
+			continue // parse rejects before either engine runs
+		}
+		parsed++
+		checkEquivalence(t, st, query, q, EvalOptions{}, "planned")
+		checkEquivalence(t, st, query, q, EvalOptions{DisablePlan: true}, "unplanned")
+	}
+	if parsed < len(equivCorpus) {
+		t.Fatalf("only %d/%d corpus queries parsed — corpus is stale", parsed, len(equivCorpus))
+	}
+}
+
+// TestEvalConcurrentSharedStore drives the slot engine from many
+// goroutines over one store, for the race detector: per-query state
+// (idSpace, rowSets, plans) must never leak across evaluations.
+func TestEvalConcurrentSharedStore(t *testing.T) {
+	st := peopleStore(t)
+	queries := []string{
+		`SELECT ?n WHERE { ?s ?p ?o . ?s <http://x/knows> ?k . ?k <http://x/name> ?n }`,
+		`SELECT ?p (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY ?n`,
+		`SELECT ?x WHERE { <http://x/carol> <http://x/knows>+ ?x } ORDER BY ?x`,
+		`SELECT ?s ?v WHERE { ?s <http://x/name> ?n . VALUES (?n ?v) { ("Alice" 1) (UNDEF 2) } }`,
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q, err := Parse(queries[(g+i)%len(queries)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := Eval(st, q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

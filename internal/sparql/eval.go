@@ -28,30 +28,31 @@ func Execute(st *store.Store, query string) (*Result, error) {
 	return Eval(st, q)
 }
 
-// Eval evaluates a parsed query over a single store.
+// Eval evaluates a parsed query over a single store through the
+// slot-based engine (see sloteval.go).
 func Eval(st *store.Store, q *Query) (*Result, error) {
 	return EvalTrace(st, q, nil)
 }
 
 // EvalTrace evaluates a parsed query over a single store, recording one
 // span per evaluation stage (per-pattern match timing, join input/output
-// cardinalities) into tr. A nil trace disables recording at the cost of a
-// branch per stage.
+// cardinalities, plan rendering) into tr. A nil trace disables recording
+// at the cost of a branch per stage.
 func EvalTrace(st *store.Store, q *Query, tr *obs.Trace) (*Result, error) {
-	sp := tr.Root()
-	rows, err := evalPatterns(st, q.Patterns, []Binding{{}}, sp)
+	return EvalWithOptions(st, q, tr, EvalOptions{})
+}
+
+// EvalCompat evaluates a parsed query through the legacy map-based
+// engine: one Binding map per row, terms decoded at every join step. It
+// exists as the reference implementation for the slot-engine equivalence
+// harness (equiv_test.go) and for A/B benchmarking; production callers
+// go through Eval.
+func EvalCompat(st *store.Store, q *Query) (*Result, error) {
+	rows, err := evalPatterns(st, q.Patterns, []Binding{{}}, nil)
 	if err != nil {
 		return nil, err
 	}
-	fin := sp.Child("finalize")
-	fin.SetInt("in", int64(len(rows)))
-	res, err := finalize(q, rows)
-	if err == nil {
-		fin.SetInt("out", int64(len(res.Rows)+len(res.Triples)))
-	}
-	fin.End()
-	tr.Finish()
-	return res, err
+	return finalize(q, rows)
 }
 
 // AskResult interprets the result of an ASK query: true when any solution
@@ -110,36 +111,66 @@ func finalize(q *Query, rows []Binding) (*Result, error) {
 // InstantiateTemplate substitutes each solution into the template triples,
 // dropping instantiations with unbound variables or ill-formed positions
 // (literal subjects, non-IRI predicates), and deduplicating the output.
+// Template constants are validated once up front, and duplicates are
+// detected on compact interned-id keys instead of hashing three full
+// terms per row-triple.
 func InstantiateTemplate(template []TriplePattern, rows []Binding) []rdf.Triple {
-	var out []rdf.Triple
-	seen := map[rdf.Triple]struct{}{}
-	resolve := func(n Node, row Binding) (rdf.Term, bool) {
-		if n.IsVar() {
-			t, ok := row[n.Var]
-			return t, ok
+	// Pre-validate the constant-only checks: a template triple with a
+	// literal constant subject or non-IRI constant predicate never
+	// instantiates, whatever the row.
+	tmpl := make([]TriplePattern, 0, len(template))
+	for _, tp := range template {
+		if !tp.S.IsVar() && (tp.S.Term.IsLiteral() || tp.S.Term.IsZero()) {
+			continue
 		}
-		return n.Term, true
+		if !tp.P.IsVar() && !tp.P.Term.IsIRI() {
+			continue
+		}
+		if !tp.O.IsVar() && tp.O.Term.IsZero() {
+			continue
+		}
+		tmpl = append(tmpl, tp)
 	}
+	var out []rdf.Triple
+	intern := make(map[rdf.Term]uint32, 16)
+	internID := func(t rdf.Term) uint32 {
+		if id, ok := intern[t]; ok {
+			return id
+		}
+		id := uint32(len(intern) + 1)
+		intern[t] = id
+		return id
+	}
+	seen := make(map[[3]uint32]struct{}, len(rows))
 	for _, row := range rows {
-		for _, tp := range template {
-			s, okS := resolve(tp.S, row)
-			p, okP := resolve(tp.P, row)
-			o, okO := resolve(tp.O, row)
+		for _, tp := range tmpl {
+			s, okS := resolveNode(tp.S, row)
+			p, okP := resolveNode(tp.P, row)
+			o, okO := resolveNode(tp.O, row)
 			if !okS || !okP || !okO {
 				continue
 			}
 			if s.IsLiteral() || !p.IsIRI() || o.IsZero() || s.IsZero() {
 				continue
 			}
-			t := rdf.Triple{S: s, P: p, O: o}
-			if _, dup := seen[t]; dup {
+			k := [3]uint32{internID(s), internID(p), internID(o)}
+			if _, dup := seen[k]; dup {
 				continue
 			}
-			seen[t] = struct{}{}
-			out = append(out, t)
+			seen[k] = struct{}{}
+			out = append(out, rdf.Triple{S: s, P: p, O: o})
 		}
 	}
 	return out
+}
+
+// resolveNode resolves one template node under a solution row.
+func resolveNode(n Node, row Binding) (rdf.Term, bool) {
+	if n.IsVar() {
+		t, ok := row[n.Var]
+		return t, ok
+	}
+	return n.Term, true
 }
 
 // sliceRows applies OFFSET then LIMIT.
@@ -213,15 +244,33 @@ func compareTerms(a, b rdf.Term) int {
 	}
 }
 
+// dedupeRows drops duplicate rows. Terms are interned into a per-call id
+// space so each row keys as a tuple of 4-byte ids rather than the
+// concatenation of every term's N-Triples rendering.
 func dedupeRows(vars []string, rows []Binding) []Binding {
 	seen := make(map[string]struct{}, len(rows))
+	intern := make(map[rdf.Term]uint32, 16)
+	key := make([]byte, 4*len(vars))
 	out := rows[:0]
 	for _, row := range rows {
-		k := rowKey(vars, row)
-		if _, dup := seen[k]; dup {
+		for i, v := range vars {
+			var id uint32 // 0 = unbound
+			if t, ok := row[v]; ok {
+				id, ok = intern[t]
+				if !ok {
+					id = uint32(len(intern) + 1)
+					intern[t] = id
+				}
+			}
+			key[4*i] = byte(id)
+			key[4*i+1] = byte(id >> 8)
+			key[4*i+2] = byte(id >> 16)
+			key[4*i+3] = byte(id >> 24)
+		}
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(key)] = struct{}{}
 		out = append(out, row)
 	}
 	return out
@@ -280,25 +329,31 @@ func stageSpan(sp *obs.Span, p Pattern) *obs.Span {
 	if sp == nil {
 		return nil
 	}
+	return sp.Child(stageName(p))
+}
+
+// stageName names an evaluation stage after its pattern type; the names
+// double as the <stage> segment of the sparql.stage.<stage>.rows metric.
+func stageName(p Pattern) string {
 	switch p.(type) {
 	case BGP:
-		return sp.Child("bgp")
+		return "bgp"
 	case Filter:
-		return sp.Child("filter")
+		return "filter"
 	case Optional:
-		return sp.Child("optional")
+		return "optional"
 	case Union:
-		return sp.Child("union")
+		return "union"
 	case Values:
-		return sp.Child("values")
+		return "values"
 	case Exists:
-		return sp.Child("exists")
+		return "exists"
 	case PathPattern:
-		return sp.Child("path")
+		return "path"
 	case Bind:
-		return sp.Child("bind")
+		return "bind"
 	default:
-		return sp.Child("pattern-group")
+		return "pattern-group"
 	}
 }
 
@@ -446,63 +501,8 @@ func evalBGP(st *store.Store, bgp BGP, rows []Binding, sp *obs.Span) ([]Binding,
 }
 
 // MatchPattern returns the extensions of binding through one triple pattern
-// against a store. It is exported for use by the federated executor.
+// against a store. It is exported for use by the federated executor; batch
+// callers should compile the pattern once with NewPatternMatcher instead.
 func MatchPattern(st *store.Store, tp TriplePattern, binding Binding) []Binding {
-	dict := st.Dict()
-	resolve := func(n Node) (rdf.TermID, string, bool) {
-		if n.IsVar() {
-			if t, bound := binding[n.Var]; bound {
-				id, ok := dict.Lookup(t)
-				if !ok {
-					return rdf.NoTerm, "", false
-				}
-				return id, "", true
-			}
-			return rdf.NoTerm, n.Var, true
-		}
-		id, ok := dict.Lookup(n.Term)
-		if !ok {
-			return rdf.NoTerm, "", false
-		}
-		return id, "", true
-	}
-	sID, sVar, ok := resolve(tp.S)
-	if !ok {
-		return nil
-	}
-	pID, pVar, ok := resolve(tp.P)
-	if !ok {
-		return nil
-	}
-	oID, oVar, ok := resolve(tp.O)
-	if !ok {
-		return nil
-	}
-	matched := st.Match(sID, pID, oID)
-	out := make([]Binding, 0, len(matched))
-	for _, t := range matched {
-		nb := binding.Clone()
-		okRow := true
-		bind := func(v string, id rdf.TermID) {
-			if v == "" {
-				return
-			}
-			term := dict.Term(id)
-			if prev, bound := nb[v]; bound {
-				// Same variable twice in one pattern (e.g. ?x ?p ?x).
-				if prev != term {
-					okRow = false
-				}
-				return
-			}
-			nb[v] = term
-		}
-		bind(sVar, t.S)
-		bind(pVar, t.P)
-		bind(oVar, t.O)
-		if okRow {
-			out = append(out, nb)
-		}
-	}
-	return out
+	return NewPatternMatcher(st, tp).Match(binding)
 }

@@ -114,7 +114,13 @@ func (e CmpExpr) Eval(b Binding) (rdf.Term, error) {
 	if err != nil {
 		return rdf.Term{}, err
 	}
-	switch e.Op {
+	return cmpTerms(e.Op, l, r)
+}
+
+// cmpTerms applies a comparison operator to two evaluated terms. Shared by
+// the map-based and slot-based expression evaluators.
+func cmpTerms(op string, l, r rdf.Term) (rdf.Term, error) {
+	switch op {
 	case "=":
 		return boolTerm(termsEqual(l, r)), nil
 	case "!=":
@@ -134,7 +140,7 @@ func (e CmpExpr) Eval(b Binding) (rdf.Term, error) {
 	} else {
 		cmp = strings.Compare(l.Value, r.Value)
 	}
-	switch e.Op {
+	switch op {
 	case "<":
 		return boolTerm(cmp < 0), nil
 	case ">":
@@ -144,7 +150,7 @@ func (e CmpExpr) Eval(b Binding) (rdf.Term, error) {
 	case ">=":
 		return boolTerm(cmp >= 0), nil
 	default:
-		return rdf.Term{}, fmt.Errorf("unknown comparison %q", e.Op)
+		return rdf.Term{}, fmt.Errorf("unknown comparison %q", op)
 	}
 }
 
@@ -196,13 +202,19 @@ func (e ArithExpr) Eval(b Binding) (rdf.Term, error) {
 	if err != nil {
 		return rdf.Term{}, err
 	}
+	return arithTerms(e.Op, l, r)
+}
+
+// arithTerms applies an arithmetic operator to two evaluated terms. Shared
+// by the map-based and slot-based expression evaluators.
+func arithTerms(op byte, l, r rdf.Term) (rdf.Term, error) {
 	lf, lok := l.AsFloat()
 	rf, rok := r.AsFloat()
 	if !lok || !rok || !looksNumeric(l.Value) || !looksNumeric(r.Value) {
-		return rdf.Term{}, fmt.Errorf("non-numeric operand for %c", e.Op)
+		return rdf.Term{}, fmt.Errorf("non-numeric operand for %c", op)
 	}
 	var v float64
-	switch e.Op {
+	switch op {
 	case '+':
 		v = lf + rf
 	case '-':
@@ -215,7 +227,7 @@ func (e ArithExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		v = lf / rf
 	default:
-		return rdf.Term{}, fmt.Errorf("unknown arithmetic op %c", e.Op)
+		return rdf.Term{}, fmt.Errorf("unknown arithmetic op %c", op)
 	}
 	if v == float64(int64(v)) {
 		return rdf.NewInt(int64(v)), nil
@@ -238,7 +250,14 @@ type LogicExpr struct {
 func (e LogicExpr) Eval(b Binding) (rdf.Term, error) {
 	lv, lerr := evalBool(e.Left, b)
 	rv, rerr := evalBool(e.Right, b)
-	switch e.Op {
+	return logicCombine(e.Op, lv, lerr, rv, rerr)
+}
+
+// logicCombine merges independently evaluated operand results under
+// SPARQL's error-tolerant boolean logic. Shared by the map-based and
+// slot-based expression evaluators.
+func logicCombine(op string, lv bool, lerr error, rv bool, rerr error) (rdf.Term, error) {
+	switch op {
 	case "&&":
 		if lerr == nil && !lv || rerr == nil && !rv {
 			return termFalse, nil
@@ -262,7 +281,7 @@ func (e LogicExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		return boolTerm(lv || rv), nil
 	default:
-		return rdf.Term{}, fmt.Errorf("unknown logic op %q", e.Op)
+		return rdf.Term{}, fmt.Errorf("unknown logic op %q", op)
 	}
 }
 
@@ -320,7 +339,14 @@ func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		args[i] = t
 	}
-	switch e.Name {
+	return callBuiltin(e.Name, args)
+}
+
+// callBuiltin dispatches a builtin call (BOUND excepted, which needs the
+// binding itself) over evaluated arguments. Shared by the map-based and
+// slot-based expression evaluators.
+func callBuiltin(name string, args []rdf.Term) (rdf.Term, error) {
+	switch name {
 	case "REGEX":
 		if len(args) < 2 {
 			return rdf.Term{}, fmt.Errorf("REGEX takes 2 or 3 arguments")
@@ -356,7 +382,7 @@ func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
 		return rdf.NewString(args[0].Lang), nil
 	case "ISIRI", "ISURI":
 		if len(args) != 1 {
-			return rdf.Term{}, fmt.Errorf("%s takes 1 argument", e.Name)
+			return rdf.Term{}, fmt.Errorf("%s takes 1 argument", name)
 		}
 		return boolTerm(args[0].IsIRI()), nil
 	case "ISLITERAL":
@@ -365,7 +391,7 @@ func (e CallExpr) Eval(b Binding) (rdf.Term, error) {
 		}
 		return boolTerm(args[0].IsLiteral()), nil
 	default:
-		return rdf.Term{}, fmt.Errorf("unknown function %s", e.Name)
+		return rdf.Term{}, fmt.Errorf("unknown function %s", name)
 	}
 }
 

@@ -1,0 +1,127 @@
+package sparql
+
+import (
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// PatternMatcher is one triple pattern compiled against one store:
+// constant terms are resolved to dictionary ids once at construction, and
+// bound-variable term lookups are memoized across calls. The federated
+// executor's bound joins create one matcher per (pattern, source) batch so
+// a term shared by many rows is interned exactly once. Not safe for
+// concurrent use (the lookup cache is unsynchronized).
+type PatternMatcher struct {
+	st      *store.Store
+	dict    *rdf.Dict
+	s, p, o pmNode
+	cache   map[rdf.Term]rdf.TermID // bound-term lookups; NoTerm caches a miss
+}
+
+// pmNode is one compiled pattern position: a variable name, or (v == "")
+// a constant's dictionary id — rdf.NoTerm when the constant is not in the
+// dictionary at all, in which case the pattern can never match.
+type pmNode struct {
+	v  string
+	id rdf.TermID
+}
+
+// NewPatternMatcher compiles a triple pattern against a store.
+func NewPatternMatcher(st *store.Store, tp TriplePattern) *PatternMatcher {
+	m := &PatternMatcher{st: st, dict: st.Dict()}
+	conv := func(n Node) pmNode {
+		if n.IsVar() {
+			return pmNode{v: n.Var}
+		}
+		id, _ := m.dict.Lookup(n.Term) // id stays NoTerm on a miss
+		return pmNode{id: id}
+	}
+	m.s, m.p, m.o = conv(tp.S), conv(tp.P), conv(tp.O)
+	return m
+}
+
+// Match returns the extensions of binding through the compiled pattern,
+// in store insertion order.
+func (m *PatternMatcher) Match(binding Binding) []Binding {
+	sID, sVar, ok := m.resolve(m.s, binding)
+	if !ok {
+		return nil
+	}
+	pID, pVar, ok := m.resolve(m.p, binding)
+	if !ok {
+		return nil
+	}
+	oID, oVar, ok := m.resolve(m.o, binding)
+	if !ok {
+		return nil
+	}
+	var out []Binding
+	m.st.MatchEach(sID, pID, oID, func(t rdf.TripleID) {
+		// Same variable twice in one pattern (e.g. ?x ?p ?x): the matched
+		// positions must agree. Id equality is term equality.
+		if sVar != "" {
+			if sVar == pVar && t.S != t.P {
+				return
+			}
+			if sVar == oVar && t.S != t.O {
+				return
+			}
+		}
+		if pVar != "" && pVar == oVar && t.P != t.O {
+			return
+		}
+		nb := binding.Clone()
+		if sVar != "" {
+			nb[sVar] = m.dict.Term(t.S)
+		}
+		if pVar != "" {
+			nb[pVar] = m.dict.Term(t.P)
+		}
+		if oVar != "" {
+			nb[oVar] = m.dict.Term(t.O)
+		}
+		out = append(out, nb)
+	})
+	return out
+}
+
+// resolve turns a compiled position plus the binding into a store query
+// id. ok is false when the position can never match: a constant (or bound
+// term) unknown to the dictionary.
+func (m *PatternMatcher) resolve(n pmNode, binding Binding) (rdf.TermID, string, bool) {
+	if n.v == "" {
+		return n.id, "", n.id != rdf.NoTerm
+	}
+	t, bound := binding[n.v]
+	if !bound {
+		return rdf.NoTerm, n.v, true
+	}
+	id, seen := m.cache[t]
+	if !seen {
+		id, _ = m.dict.Lookup(t) // NoTerm on a miss, memoized too
+		if m.cache == nil {
+			m.cache = make(map[rdf.Term]rdf.TermID, 8)
+		}
+		m.cache[t] = id
+	}
+	return id, "", id != rdf.NoTerm
+}
+
+// MatchPatternSubst is MatchPattern with the subject and/or object
+// position overridden by an already-resolved dictionary id (rdf.NoTerm
+// means no override). The federated executor uses it for sameAs
+// rewriting: the equivalence closure already holds the alias's id, so
+// substituting it directly skips the id → term → id round trip of
+// building a rewritten pattern. An overridden position matches the alias
+// without binding any variable there — the caller re-binds the original
+// entity, exactly like the term-level rewrite.
+func MatchPatternSubst(st *store.Store, tp TriplePattern, binding Binding, sSubst, oSubst rdf.TermID) []Binding {
+	m := NewPatternMatcher(st, tp)
+	if sSubst != rdf.NoTerm {
+		m.s = pmNode{id: sSubst}
+	}
+	if oSubst != rdf.NoTerm {
+		m.o = pmNode{id: oSubst}
+	}
+	return m.Match(binding)
+}

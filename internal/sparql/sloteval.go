@@ -1,0 +1,941 @@
+package sparql
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"alex/internal/obs"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// This file is the slot-based evaluation engine: the whole pipeline from
+// pattern matching through DISTINCT runs on fixed-width []rdf.TermID rows
+// over the store's dictionary ids, and terms are decoded only where a
+// lexical form is genuinely needed (expression evaluation, ORDER BY
+// comparisons, and the final materialization). The legacy map-based
+// engine is retained as EvalCompat for the equivalence harness.
+
+// EvalWithOptions evaluates a parsed query through the slot-based engine
+// with explicit options, materializing the result rows into the public
+// Binding representation.
+func EvalWithOptions(st *store.Store, q *Query, tr *obs.Trace, opts EvalOptions) (*Result, error) {
+	res, err := EvalSlotsTrace(st, q, tr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Materialize(), nil
+}
+
+// EvalSlots evaluates a parsed query and returns the un-materialized slot
+// result: callers that only serialize (the SPARQL protocol endpoint)
+// decode terms straight at their output boundary instead of building one
+// map per row first.
+func EvalSlots(st *store.Store, q *Query) (*SlotResult, error) {
+	return EvalSlotsTrace(st, q, nil, EvalOptions{})
+}
+
+// EvalSlotsTrace is EvalSlots with span recording and options.
+func EvalSlotsTrace(st *store.Store, q *Query, tr *obs.Trace, opts EvalOptions) (*SlotResult, error) {
+	p := compileSlots(st, q, opts)
+	reg := st.Registry()
+	p.reorders = reg.Counter(obs.SparqlPlanReorders)
+	p.reg = reg
+	sp := tr.Root()
+	in := newRowSet(p.width(), 1)
+	in.pushEmpty()
+	rows, err := p.evalSlotPatterns(q.Patterns, in, sp)
+	if err != nil {
+		return nil, err
+	}
+	fin := sp.Child("finalize")
+	fin.SetInt("in", int64(rows.n))
+	res, err := p.finalizeSlots(q, rows)
+	if err == nil {
+		res.materialized = reg.Counter(obs.SparqlRowsMaterialized)
+		fin.SetInt("out", int64(res.Len()+len(res.Triples)))
+	}
+	fin.End()
+	tr.Finish()
+	return res, err
+}
+
+// SlotResult is a query result still in id space: fixed-width rows of
+// dictionary (or query-overflow) ids plus the id space to decode them.
+// Vars is the projection; row columns are named by rowVars, which adds the
+// grouping variables of aggregate queries (the map engine also carries
+// those through).
+type SlotResult struct {
+	Vars    []string
+	Triples []rdf.Triple
+
+	rowVars      []string
+	rows         *rowSet
+	ids          *idSpace
+	materialized *obs.Counter
+}
+
+// Len returns the number of solution rows.
+func (r *SlotResult) Len() int {
+	if r.rows == nil {
+		return 0
+	}
+	return r.rows.n
+}
+
+// AskResult interprets the result of an ASK query.
+func (r *SlotResult) AskResult() bool { return r.Len() > 0 }
+
+// EachBinding decodes row i, calling fn once per bound variable.
+func (r *SlotResult) EachBinding(i int, fn func(v string, t rdf.Term)) {
+	row := r.rows.row(i)
+	for j, id := range row {
+		if id != rdf.NoTerm {
+			fn(r.rowVars[j], r.ids.term(id))
+		}
+	}
+}
+
+// Materialize decodes every row into the public Binding representation.
+func (r *SlotResult) Materialize() *Result {
+	res := &Result{Vars: r.Vars, Triples: r.Triples}
+	if r.rows == nil {
+		return res
+	}
+	res.Rows = make([]Binding, 0, r.rows.n)
+	for i := 0; i < r.rows.n; i++ {
+		row := r.rows.row(i)
+		b := make(Binding, len(row))
+		for j, id := range row {
+			if id != rdf.NoTerm {
+				b[r.rowVars[j]] = r.ids.term(id)
+			}
+		}
+		res.Rows = append(res.Rows, b)
+	}
+	r.materialized.Add(int64(r.rows.n))
+	return res
+}
+
+// evalSlotPatterns folds each group element over the current solution
+// set, mirroring the legacy evalPatterns stage for stage (same span names
+// and attributes) and recording each stage's output cardinality.
+func (p *slotProg) evalSlotPatterns(patterns []Pattern, in *rowSet, sp *obs.Span) (*rowSet, error) {
+	rows := in
+	for _, pat := range patterns {
+		var err error
+		stage := stageSpan(sp, pat)
+		stage.SetInt("in", int64(rows.n))
+		switch pat := pat.(type) {
+		case BGP:
+			rows, err = p.evalSlotBGP(pat, rows, stage)
+		case Filter:
+			rows = p.applySlotFilter(pat.Expr, rows)
+		case Optional:
+			rows, err = p.evalSlotOptional(pat, rows, stage)
+		case Union:
+			rows, err = p.evalSlotUnion(pat, rows, stage)
+		case Values:
+			rows = p.evalSlotValues(pat, rows)
+		case Exists:
+			rows, err = p.evalSlotExists(pat, rows, stage)
+		case PathPattern:
+			rows = p.evalSlotPath(pat, rows)
+		case Bind:
+			rows = p.evalSlotBind(pat, rows)
+		default:
+			err = fmt.Errorf("sparql: unknown pattern type %T", pat)
+		}
+		if err != nil {
+			stage.SetInt("out", 0)
+			stage.End()
+			return nil, err
+		}
+		stage.SetInt("out", int64(rows.n))
+		stage.End()
+		p.observeStage(pat, rows.n)
+	}
+	return rows, nil
+}
+
+// observeStage records a stage's output cardinality into the per-stage
+// histogram (sparql.stage.<stage>.rows), resolving each instrument once
+// per query.
+func (p *slotProg) observeStage(pat Pattern, n int) {
+	if p.reg == nil {
+		return
+	}
+	name := stageName(pat)
+	h, ok := p.stageHists[name]
+	if !ok {
+		if p.stageHists == nil {
+			p.stageHists = map[string]*obs.Histogram{}
+		}
+		h = p.reg.Histogram(obs.SparqlStageRows(name))
+		p.stageHists[name] = h
+	}
+	h.Observe(int64(n))
+}
+
+// compiledNode is one position of a compiled triple pattern: a variable's
+// slot index, or (slot == -1) a constant resolved to its dictionary id.
+type compiledNode struct {
+	slot int
+	id   rdf.TermID
+}
+
+type compiledTP struct {
+	s, p, o compiledNode
+}
+
+// compileTP resolves a triple pattern's constants against the dictionary
+// once. ok is false when a constant is not in the dictionary at all — the
+// pattern can then never match.
+func (p *slotProg) compileTP(tp TriplePattern) (compiledTP, bool) {
+	conv := func(n Node) (compiledNode, bool) {
+		if n.IsVar() {
+			return compiledNode{slot: p.slots[n.Var]}, true
+		}
+		id, ok := p.st.Dict().Lookup(n.Term)
+		if !ok {
+			return compiledNode{}, false
+		}
+		return compiledNode{slot: -1, id: id}, true
+	}
+	var c compiledTP
+	var ok bool
+	if c.s, ok = conv(tp.S); !ok {
+		return c, false
+	}
+	if c.p, ok = conv(tp.P); !ok {
+		return c, false
+	}
+	if c.o, ok = conv(tp.O); !ok {
+		return c, false
+	}
+	return c, true
+}
+
+// boundSlots reports which slots are bound in at least one input row —
+// the planner's notion of "already bound" entering a BGP.
+func (p *slotProg) boundSlots(rows *rowSet) []bool {
+	bound := make([]bool, p.width())
+	for i := 0; i < rows.n; i++ {
+		for j, id := range rows.row(i) {
+			if id != rdf.NoTerm {
+				bound[j] = true
+			}
+		}
+	}
+	return bound
+}
+
+// evalSlotBGP extends each solution through every triple pattern in
+// planned order, recording one "pattern" span per triple pattern plus a
+// "plan" span when the planner reordered.
+func (p *slotProg) evalSlotBGP(bgp BGP, in *rowSet, sp *obs.Span) (*rowSet, error) {
+	order := p.planBGP(bgp.Triples, p.boundSlots(in))
+	if planReordered(order) {
+		p.reorders.Inc()
+		if sp != nil {
+			ps := sp.Child("plan")
+			idx, text := renderPlan(bgp.Triples, order)
+			ps.SetStr("order", idx)
+			ps.SetStr("patterns", text)
+			ps.End()
+		}
+	}
+	rows := in
+	exec := &bgpExec{}
+	emit := exec.emit
+	for _, j := range order {
+		tp := bgp.Triples[j]
+		var psp *obs.Span
+		if sp != nil {
+			psp = sp.Child("pattern")
+			psp.SetStr("tp", tp.String())
+			psp.SetInt("in", int64(rows.n))
+		}
+		next := newRowSet(p.width(), rows.n)
+		ctp, ok := p.compileTP(tp)
+		if ok {
+			exec.out = next
+			exec.c = ctp
+			for i := 0; i < rows.n; i++ {
+				r := rows.row(i)
+				sQ, okS := queryID(ctp.s, r)
+				pQ, okP := queryID(ctp.p, r)
+				oQ, okO := queryID(ctp.o, r)
+				if !okS || !okP || !okO {
+					continue
+				}
+				exec.r = r
+				p.st.MatchEach(sQ, pQ, oQ, emit)
+			}
+		}
+		rows = next
+		psp.SetInt("out", int64(rows.n))
+		psp.End()
+		if rows.n == 0 {
+			return rows, nil
+		}
+	}
+	return rows, nil
+}
+
+// queryID turns a compiled node plus the current row into a store query
+// id: a constant's id, a bound slot's id, or the wildcard. ok is false
+// when the slot holds a query-overflow id, which no stored triple can
+// match (the map engine's dictionary-lookup failure on a bound term).
+func queryID(n compiledNode, r []rdf.TermID) (rdf.TermID, bool) {
+	if n.slot < 0 {
+		return n.id, true
+	}
+	id := r[n.slot]
+	if id >= overflowBase {
+		return rdf.NoTerm, false
+	}
+	return id, true
+}
+
+// bgpExec is the per-pattern match sink: emit appends the current row
+// extended by one matched triple. A struct (rather than a closure over
+// the row) so the callback is allocated once per pattern, not once per
+// row.
+type bgpExec struct {
+	out *rowSet
+	r   []rdf.TermID
+	c   compiledTP
+}
+
+func (e *bgpExec) emit(t rdf.TripleID) {
+	nr := e.out.push(e.r)
+	if !setSlot(nr, e.c.s.slot, t.S) || !setSlot(nr, e.c.p.slot, t.P) || !setSlot(nr, e.c.o.slot, t.O) {
+		e.out.pop()
+	}
+}
+
+// setSlot binds a matched position into the row; a slot already bound
+// (the queried position, or the same variable appearing twice in one
+// pattern) must agree.
+func setSlot(nr []rdf.TermID, slot int, v rdf.TermID) bool {
+	if slot < 0 {
+		return true
+	}
+	if nr[slot] == rdf.NoTerm {
+		nr[slot] = v
+		return true
+	}
+	return nr[slot] == v
+}
+
+// applySlotFilter compacts rows in place, keeping those whose expression
+// evaluates to true (errors reject, per SPARQL).
+func (p *slotProg) applySlotFilter(e Expr, rows *rowSet) *rowSet {
+	w := rows.w
+	out := 0
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		v, err := p.evalBoolRow(e, r)
+		if err == nil && v {
+			if out != i {
+				copy(rows.data[out*w:(out+1)*w], r)
+			}
+			out++
+		}
+	}
+	rows.n = out
+	rows.data = rows.data[:out*w]
+	return rows
+}
+
+// resetSingle reuses a one-row scratch set for per-row sub-evaluation
+// (OPTIONAL/UNION/EXISTS). The row is copied, so in-place operators in
+// the sub-group cannot corrupt the parent set.
+func resetSingle(single *rowSet, r []rdf.TermID) *rowSet {
+	single.n = 0
+	single.data = single.data[:0]
+	single.push(r)
+	return single
+}
+
+func (p *slotProg) evalSlotOptional(opt Optional, rows *rowSet, sp *obs.Span) (*rowSet, error) {
+	out := newRowSet(p.width(), rows.n)
+	single := newRowSet(p.width(), 1)
+	for i := 0; i < rows.n; i++ {
+		extended, err := p.evalSlotPatterns(opt.Patterns, resetSingle(single, rows.row(i)), sp)
+		if err != nil {
+			return nil, err
+		}
+		if extended.n == 0 {
+			out.push(rows.row(i))
+		} else {
+			out.data = append(out.data, extended.data...)
+			out.n += extended.n
+		}
+	}
+	return out, nil
+}
+
+func (p *slotProg) evalSlotUnion(u Union, rows *rowSet, sp *obs.Span) (*rowSet, error) {
+	out := newRowSet(p.width(), 2*rows.n)
+	single := newRowSet(p.width(), 1)
+	for i := 0; i < rows.n; i++ {
+		for _, branch := range [2][]Pattern{u.Left, u.Right} {
+			res, err := p.evalSlotPatterns(branch, resetSingle(single, rows.row(i)), sp)
+			if err != nil {
+				return nil, err
+			}
+			out.data = append(out.data, res.data...)
+			out.n += res.n
+		}
+	}
+	return out, nil
+}
+
+func (p *slotProg) evalSlotValues(v Values, rows *rowSet) *rowSet {
+	slots := make([]int, len(v.Vars))
+	for i, name := range v.Vars {
+		slots[i] = p.slots[name]
+	}
+	// Intern the data block once; UNDEF stays the zero id.
+	dataIDs := make([][]rdf.TermID, len(v.Rows))
+	for j, data := range v.Rows {
+		ids := make([]rdf.TermID, len(data))
+		for i, t := range data {
+			if !t.IsZero() {
+				ids[i] = p.ids.id(t)
+			}
+		}
+		dataIDs[j] = ids
+	}
+	out := newRowSet(p.width(), rows.n*len(v.Rows))
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		for _, data := range dataIDs {
+			nr := out.push(r)
+			ok := true
+			for k, s := range slots {
+				id := data[k]
+				if id == rdf.NoTerm {
+					continue
+				}
+				if nr[s] != rdf.NoTerm {
+					if nr[s] != id {
+						ok = false
+						break
+					}
+					continue
+				}
+				nr[s] = id
+			}
+			if !ok {
+				out.pop()
+			}
+		}
+	}
+	return out
+}
+
+func (p *slotProg) evalSlotExists(e Exists, rows *rowSet, sp *obs.Span) (*rowSet, error) {
+	single := newRowSet(p.width(), 1)
+	w := rows.w
+	out := 0
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		matches, err := p.evalSlotPatterns(e.Patterns, resetSingle(single, r), sp)
+		if err != nil {
+			return nil, err
+		}
+		if (matches.n > 0) != e.Not {
+			if out != i {
+				copy(rows.data[out*w:(out+1)*w], r)
+			}
+			out++
+		}
+	}
+	rows.n = out
+	rows.data = rows.data[:out*w]
+	return rows, nil
+}
+
+// evalSlotBind mirrors the legacy BIND semantics: an evaluation error
+// leaves the variable unbound, a BIND onto an already-bound variable
+// filters for equality.
+func (p *slotProg) evalSlotBind(bd Bind, rows *rowSet) *rowSet {
+	s := p.slots[bd.As]
+	w := rows.w
+	out := 0
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		v, err := p.evalExprRow(bd.Expr, r)
+		keep := true
+		if err == nil {
+			id := p.ids.id(v)
+			if r[s] != rdf.NoTerm {
+				keep = r[s] == id
+			} else {
+				r[s] = id
+			}
+		}
+		if keep {
+			if out != i {
+				copy(rows.data[out*w:(out+1)*w], r)
+			}
+			out++
+		}
+	}
+	rows.n = out
+	rows.data = rows.data[:out*w]
+	return rows
+}
+
+// evalSlotPath extends each solution through a property path, reusing the
+// id-space BFS of pathTargets and binding ids directly into slots.
+func (p *slotProg) evalSlotPath(pp PathPattern, rows *rowSet) *rowSet {
+	out := newRowSet(p.width(), rows.n)
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		sID, sSlot, okS := p.resolvePathEnd(pp.S, r)
+		oID, oSlot, okO := p.resolvePathEnd(pp.O, r)
+		if !okS || !okO {
+			continue
+		}
+		emit := func(s, o rdf.TermID) {
+			nr := out.push(r)
+			if sSlot >= 0 {
+				nr[sSlot] = s
+			}
+			if oSlot >= 0 {
+				if oSlot == sSlot {
+					// Same variable at both ends: require a self-loop.
+					if s != o {
+						out.pop()
+						return
+					}
+				} else {
+					nr[oSlot] = o
+				}
+			}
+		}
+		switch {
+		case sID != rdf.NoTerm:
+			for _, o := range pathTargets(p.st, pp.P, sID, false) {
+				if oID != rdf.NoTerm && o != oID {
+					continue
+				}
+				emit(sID, o)
+			}
+		case oID != rdf.NoTerm:
+			for _, s := range pathTargets(p.st, pp.P, oID, true) {
+				emit(s, oID)
+			}
+		default:
+			for _, s := range p.st.Subjects() {
+				for _, o := range pathTargets(p.st, pp.P, s, false) {
+					emit(s, o)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolvePathEnd resolves one end of a path pattern: a bound dictionary
+// id (slot == -1), or an unbound variable's slot. ok is false when the
+// end is a constant or bound term outside the dictionary — the map engine
+// yields no rows there, and closures over the store could not reach it
+// anyway.
+func (p *slotProg) resolvePathEnd(n Node, r []rdf.TermID) (id rdf.TermID, slot int, ok bool) {
+	if n.IsVar() {
+		s := p.slots[n.Var]
+		if got := r[s]; got != rdf.NoTerm {
+			if got >= overflowBase {
+				return rdf.NoTerm, -1, false
+			}
+			return got, -1, true
+		}
+		return rdf.NoTerm, s, true
+	}
+	cid, cok := p.st.Dict().Lookup(n.Term)
+	if !cok {
+		return rdf.NoTerm, -1, false
+	}
+	return cid, -1, true
+}
+
+// finalizeSlots applies aggregation, ORDER BY, projection, DISTINCT,
+// OFFSET and LIMIT — all still on slot rows.
+func (p *slotProg) finalizeSlots(q *Query, rows *rowSet) (*SlotResult, error) {
+	if q.Ask {
+		res := &SlotResult{ids: p.ids}
+		if rows.n > 0 {
+			res.rows = &rowSet{n: 1}
+		}
+		return res, nil
+	}
+	if q.Construct != nil {
+		rows = sliceSlots(rows, q.Offset, q.Limit)
+		return &SlotResult{Triples: p.instantiateSlots(q.Construct, rows), ids: p.ids}, nil
+	}
+	if len(q.Aggregates) > 0 {
+		return p.aggregateSlots(q, rows)
+	}
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = q.AllVars()
+	}
+	if len(q.OrderBy) > 0 {
+		rows = p.sortSlots(rows, q.OrderBy, p.slot)
+	}
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = p.slot(v)
+	}
+	proj := newRowSet(len(vars), rows.n)
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		nr := proj.pushEmpty()
+		for j, c := range cols {
+			if c >= 0 {
+				nr[j] = r[c]
+			}
+		}
+	}
+	if q.Distinct {
+		proj = distinctSlots(proj)
+	}
+	proj = sliceSlots(proj, q.Offset, q.Limit)
+	return &SlotResult{Vars: vars, rowVars: vars, rows: proj, ids: p.ids}, nil
+}
+
+// sortSlots applies ORDER BY with the exact comparator of the legacy
+// sortRows (unbound first, numeric when both numeric, stable), decoding
+// key terms through the id space on demand.
+func (p *slotProg) sortSlots(rows *rowSet, keys []OrderKey, slotOf func(string) int) *rowSet {
+	cols := make([]int, len(keys))
+	for i, k := range keys {
+		cols[i] = slotOf(k.Var)
+	}
+	perm := make([]int, rows.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra, rb := rows.row(perm[a]), rows.row(perm[b])
+		for ki, k := range keys {
+			var ia, ib rdf.TermID
+			if c := cols[ki]; c >= 0 {
+				ia, ib = ra[c], rb[c]
+			}
+			if ia == rdf.NoTerm && ib == rdf.NoTerm {
+				continue
+			}
+			// Unbound sorts first.
+			if ia == rdf.NoTerm || ib == rdf.NoTerm {
+				less := ia == rdf.NoTerm
+				if k.Desc {
+					less = !less
+				}
+				return less
+			}
+			if ia == ib {
+				continue
+			}
+			c := compareTerms(p.ids.term(ia), p.ids.term(ib))
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := newRowSet(rows.w, rows.n)
+	for _, i := range perm {
+		out.push(rows.row(i))
+	}
+	return out
+}
+
+// distinctSlots dedupes rows in place by their raw slot tuple — 4 bytes
+// per slot, no term decoding or stringification.
+func distinctSlots(rows *rowSet) *rowSet {
+	seen := make(map[string]struct{}, rows.n)
+	key := make([]byte, 4*rows.w)
+	w := rows.w
+	out := 0
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		for j, id := range r {
+			binary.LittleEndian.PutUint32(key[4*j:], uint32(id))
+		}
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		if out != i {
+			copy(rows.data[out*w:(out+1)*w], r)
+		}
+		out++
+	}
+	rows.n = out
+	rows.data = rows.data[:out*w]
+	return rows
+}
+
+// sliceSlots applies OFFSET then LIMIT.
+func sliceSlots(rows *rowSet, offset, limit int) *rowSet {
+	if offset > 0 {
+		if offset >= rows.n {
+			return &rowSet{w: rows.w}
+		}
+		rows.data = rows.data[offset*rows.w:]
+		rows.n -= offset
+	}
+	if limit >= 0 && limit < rows.n {
+		rows.n = limit
+		rows.data = rows.data[:limit*rows.w]
+	}
+	return rows
+}
+
+// aggregateSlots groups rows by their GROUP BY slot tuple and evaluates
+// the aggregates per group. Row columns cover the grouping variables plus
+// the aliases (like the map engine's group bindings); groups are emitted
+// in the legacy order — sorted by the stringified group key — so results
+// match EvalCompat row for row.
+func (p *slotProg) aggregateSlots(q *Query, rows *rowSet) (*SlotResult, error) {
+	gSlots := make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		gSlots[i] = p.slot(v)
+	}
+	type group struct {
+		sortKey string
+		first   int // index of the group's first row
+		rows    []int
+	}
+	byKey := map[string]*group{}
+	var order []*group
+	key := make([]byte, 4*len(gSlots))
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		for j, s := range gSlots {
+			var id rdf.TermID
+			if s >= 0 {
+				id = r[s]
+			}
+			binary.LittleEndian.PutUint32(key[4*j:], uint32(id))
+		}
+		g, ok := byKey[string(key)]
+		if !ok {
+			g = &group{sortKey: p.groupSortKey(q.GroupBy, r), first: i}
+			byKey[string(key)] = g
+			order = append(order, g)
+		}
+		g.rows = append(g.rows, i)
+	}
+	// A grouped query over zero rows yields zero groups; an ungrouped
+	// aggregate query over zero rows yields one all-empty group (COUNT=0).
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		order = append(order, &group{first: -1})
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].sortKey < order[b].sortKey })
+
+	// Output columns: grouping variables then aliases, deduplicated.
+	var rowVars []string
+	cols := map[string]int{}
+	addCol := func(v string) {
+		if _, ok := cols[v]; !ok {
+			cols[v] = len(rowVars)
+			rowVars = append(rowVars, v)
+		}
+	}
+	for _, v := range q.GroupBy {
+		addCol(v)
+	}
+	for _, a := range q.Aggregates {
+		addCol(a.As)
+	}
+
+	proj := newRowSet(len(rowVars), len(order))
+	for _, g := range order {
+		nr := proj.pushEmpty()
+		if g.first >= 0 {
+			first := rows.row(g.first)
+			for gi, v := range q.GroupBy {
+				if s := gSlots[gi]; s >= 0 && first[s] != rdf.NoTerm {
+					nr[cols[v]] = first[s]
+				}
+			}
+		}
+		for _, agg := range q.Aggregates {
+			t, err := p.evalAggregateSlots(agg, rows, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsZero() {
+				nr[cols[agg.As]] = p.ids.id(t)
+			}
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		proj = p.sortSlots(proj, q.OrderBy, func(v string) int {
+			if c, ok := cols[v]; ok {
+				return c
+			}
+			return -1
+		})
+	}
+	proj = sliceSlots(proj, q.Offset, q.Limit)
+	return &SlotResult{Vars: AggregateVars(q), rowVars: rowVars, rows: proj, ids: p.ids}, nil
+}
+
+// groupSortKey renders the legacy string group key (term N-Triples forms
+// joined by 0x1f) used only to order group emission identically to the
+// map engine — once per group, not per row.
+func (p *slotProg) groupSortKey(vars []string, r []rdf.TermID) string {
+	var b []byte
+	for _, v := range vars {
+		if id := p.get(r, v); id != rdf.NoTerm {
+			b = append(b, p.ids.term(id).String()...)
+		}
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// evalAggregateSlots computes one aggregate over a group, staying in id
+// space for COUNT (including DISTINCT, since id equality is term
+// equality) and decoding only the values MIN/MAX/SUM/AVG actually fold.
+func (p *slotProg) evalAggregateSlots(agg Aggregate, rows *rowSet, group []int) (rdf.Term, error) {
+	s := -1
+	if agg.Var != "" {
+		s = p.slot(agg.Var)
+	}
+	if agg.Func == "COUNT" {
+		n := 0
+		switch {
+		case agg.Var == "":
+			n = len(group)
+		case agg.Distinct:
+			seen := map[rdf.TermID]struct{}{}
+			for _, i := range group {
+				if s >= 0 {
+					if id := rows.row(i)[s]; id != rdf.NoTerm {
+						seen[id] = struct{}{}
+					}
+				}
+			}
+			n = len(seen)
+		default:
+			for _, i := range group {
+				if s >= 0 && rows.row(i)[s] != rdf.NoTerm {
+					n++
+				}
+			}
+		}
+		return rdf.NewInt(int64(n)), nil
+	}
+
+	var terms []rdf.Term
+	seen := map[rdf.TermID]struct{}{}
+	for _, i := range group {
+		if s < 0 {
+			break
+		}
+		id := rows.row(i)[s]
+		if id == rdf.NoTerm {
+			continue
+		}
+		if agg.Distinct {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+		}
+		terms = append(terms, p.ids.term(id))
+	}
+	if len(terms) == 0 {
+		return rdf.Term{}, nil
+	}
+	switch agg.Func {
+	case "MIN", "MAX":
+		best := terms[0]
+		for _, t := range terms[1:] {
+			c := compareTerms(t, best)
+			if (agg.Func == "MIN" && c < 0) || (agg.Func == "MAX" && c > 0) {
+				best = t
+			}
+		}
+		return best, nil
+	case "SUM", "AVG":
+		sum := 0.0
+		n := 0
+		for _, t := range terms {
+			if v, ok := t.AsFloat(); ok && looksNumeric(t.Value) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return rdf.Term{}, nil
+		}
+		if agg.Func == "SUM" {
+			return numericTerm(sum), nil
+		}
+		return numericTerm(sum / float64(n)), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: unknown aggregate %s", agg.Func)
+	}
+}
+
+// instantiateSlots substitutes each solution into the CONSTRUCT template,
+// deduplicating on id triples (constants interned into the query's id
+// space once) and decoding each distinct triple a single time.
+func (p *slotProg) instantiateSlots(template []TriplePattern, rows *rowSet) []rdf.Triple {
+	type tNode struct {
+		slot int
+		id   rdf.TermID
+	}
+	ctpl := make([]struct{ s, p, o tNode }, len(template))
+	conv := func(n Node) tNode {
+		if n.IsVar() {
+			return tNode{slot: p.slot(n.Var)}
+		}
+		return tNode{slot: -1, id: p.ids.id(n.Term)}
+	}
+	for i, tp := range template {
+		ctpl[i].s, ctpl[i].p, ctpl[i].o = conv(tp.S), conv(tp.P), conv(tp.O)
+	}
+	resolve := func(n tNode, r []rdf.TermID) rdf.TermID {
+		if n.slot < 0 {
+			return n.id
+		}
+		return r[n.slot]
+	}
+	var out []rdf.Triple
+	seen := map[[3]rdf.TermID]struct{}{}
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		for _, tp := range ctpl {
+			k := [3]rdf.TermID{resolve(tp.s, r), resolve(tp.p, r), resolve(tp.o, r)}
+			if k[0] == rdf.NoTerm || k[1] == rdf.NoTerm || k[2] == rdf.NoTerm {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			s, pt, o := p.ids.term(k[0]), p.ids.term(k[1]), p.ids.term(k[2])
+			if s.IsLiteral() || !pt.IsIRI() || o.IsZero() || s.IsZero() {
+				continue
+			}
+			out = append(out, rdf.Triple{S: s, P: pt, O: o})
+		}
+	}
+	return out
+}

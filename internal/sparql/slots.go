@@ -1,0 +1,197 @@
+package sparql
+
+import (
+	"alex/internal/obs"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// This file holds the data layout of the slot-based evaluator: the
+// per-query id space (the store dictionary plus an overflow table for
+// terms minted during evaluation) and the flat fixed-width row storage
+// that replaces per-row Binding maps in the query hot path.
+
+// overflowBase is the first id of the per-query overflow range. Store
+// dictionaries assign ids densely from 1, so any id at or above this
+// threshold was minted by the query itself (VALUES data, BIND results,
+// aggregate outputs) and can never match a stored triple.
+const overflowBase rdf.TermID = 1 << 31
+
+// idSpace maps terms to ids and back for one query evaluation. Ids below
+// overflowBase come from the shared store dictionary (read-only; the query
+// never interns into it); terms unknown to the dictionary get overflow ids
+// local to the evaluation. Within one idSpace, id equality is term
+// equality, which is what lets joins, DISTINCT and dedupe run on raw
+// uint32 tuples.
+type idSpace struct {
+	dict     *rdf.Dict
+	overflow []rdf.Term              // overflow id i+overflowBase -> term
+	ids      map[rdf.Term]rdf.TermID // overflow reverse map
+}
+
+func newIDSpace(dict *rdf.Dict) *idSpace {
+	return &idSpace{dict: dict}
+}
+
+// id returns the id of t, assigning an overflow id when the dictionary
+// does not know the term.
+func (s *idSpace) id(t rdf.Term) rdf.TermID {
+	if id, ok := s.dict.Lookup(t); ok {
+		return id
+	}
+	if id, ok := s.ids[t]; ok {
+		return id
+	}
+	if s.ids == nil {
+		s.ids = make(map[rdf.Term]rdf.TermID)
+	}
+	id := overflowBase + rdf.TermID(len(s.overflow))
+	s.overflow = append(s.overflow, t)
+	s.ids[t] = id
+	return id
+}
+
+// term decodes an id. The zero id decodes to the zero term (unbound).
+func (s *idSpace) term(id rdf.TermID) rdf.Term {
+	if id == rdf.NoTerm {
+		return rdf.Term{}
+	}
+	if id >= overflowBase {
+		return s.overflow[id-overflowBase]
+	}
+	return s.dict.Term(id)
+}
+
+// rowSet is a set of fixed-width solution rows over one flat backing
+// array: row i occupies data[i*w : (i+1)*w], one slot per query variable,
+// rdf.NoTerm marking an unbound slot. Appending rows only ever grows the
+// single backing slice, so an operator's whole output costs O(log n)
+// allocations instead of one map per row.
+type rowSet struct {
+	w    int
+	n    int
+	data []rdf.TermID
+}
+
+func newRowSet(w, capRows int) *rowSet {
+	return &rowSet{w: w, data: make([]rdf.TermID, 0, w*capRows)}
+}
+
+func (rs *rowSet) row(i int) []rdf.TermID {
+	return rs.data[i*rs.w : (i+1)*rs.w : (i+1)*rs.w]
+}
+
+// push appends a copy of src (a row of the same width) and returns the
+// appended row for in-place slot writes.
+func (rs *rowSet) push(src []rdf.TermID) []rdf.TermID {
+	rs.data = append(rs.data, src...)
+	rs.n++
+	return rs.data[(rs.n-1)*rs.w:]
+}
+
+// pushEmpty appends an all-unbound row.
+func (rs *rowSet) pushEmpty() []rdf.TermID {
+	for i := 0; i < rs.w; i++ {
+		rs.data = append(rs.data, rdf.NoTerm)
+	}
+	rs.n++
+	return rs.data[(rs.n-1)*rs.w:]
+}
+
+// pop drops the most recently pushed row (used to retract a row whose
+// same-variable consistency check failed after the copy).
+func (rs *rowSet) pop() {
+	rs.n--
+	rs.data = rs.data[:rs.n*rs.w]
+}
+
+// slotProg is one compiled query evaluation: the variable -> slot mapping
+// plus everything the operators need (store, id space, options and
+// resolved instruments).
+type slotProg struct {
+	st    *store.Store
+	ids   *idSpace
+	vars  []string       // slot index -> variable name
+	slots map[string]int // variable name -> slot index
+	opts  EvalOptions
+
+	// Instruments, resolved once per query from the store's registry
+	// (all nil-safe when the store has no observer).
+	reg        *obs.Registry
+	reorders   *obs.Counter
+	stageHists map[string]*obs.Histogram
+}
+
+func (p *slotProg) width() int { return len(p.vars) }
+
+// compileSlots assigns a dense slot index to every variable the query's
+// patterns can bind. Variables that appear only in projections, ORDER BY,
+// GROUP BY or expressions (never bound by a pattern) need no slot: a
+// missing slot reads as unbound everywhere, matching the map engine's
+// missing-key semantics.
+func compileSlots(st *store.Store, q *Query, opts EvalOptions) *slotProg {
+	p := &slotProg{
+		st:    st,
+		ids:   newIDSpace(st.Dict()),
+		slots: map[string]int{},
+		opts:  opts,
+	}
+	addVar := func(v string) {
+		if _, ok := p.slots[v]; !ok {
+			p.slots[v] = len(p.vars)
+			p.vars = append(p.vars, v)
+		}
+	}
+	var walk func(ps []Pattern)
+	walk = func(ps []Pattern) {
+		for _, pat := range ps {
+			switch pat := pat.(type) {
+			case BGP:
+				for _, tp := range pat.Triples {
+					for _, v := range tp.Vars() {
+						addVar(v)
+					}
+				}
+			case Optional:
+				walk(pat.Patterns)
+			case Union:
+				walk(pat.Left)
+				walk(pat.Right)
+			case Values:
+				for _, v := range pat.Vars {
+					addVar(v)
+				}
+			case Exists:
+				walk(pat.Patterns)
+			case PathPattern:
+				for _, n := range []Node{pat.S, pat.O} {
+					if n.IsVar() {
+						addVar(n.Var)
+					}
+				}
+			case Bind:
+				addVar(pat.As)
+			}
+		}
+	}
+	walk(q.Patterns)
+	return p
+}
+
+// slot returns the slot index of a variable, or -1 when the query's
+// patterns never bind it.
+func (p *slotProg) slot(v string) int {
+	if s, ok := p.slots[v]; ok {
+		return s
+	}
+	return -1
+}
+
+// get reads a variable from a row; the zero id means unbound (including
+// variables without a slot).
+func (p *slotProg) get(r []rdf.TermID, v string) rdf.TermID {
+	if s, ok := p.slots[v]; ok {
+		return r[s]
+	}
+	return rdf.NoTerm
+}

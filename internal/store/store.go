@@ -406,6 +406,74 @@ func (s *Store) PredicateCount(p rdf.TermID) int {
 	return len(s.ixPred.get(p))
 }
 
+// SubjectCount returns the number of triples with the given subject. The
+// SPARQL planner uses the per-position posting-list sizes as its
+// selectivity statistics.
+func (s *Store) SubjectCount(subj rdf.TermID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ixSubj.get(subj))
+}
+
+// ObjectCount returns the number of triples with the given object.
+func (s *Store) ObjectCount(obj rdf.TermID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ixObj.get(obj))
+}
+
+// Registry returns the metrics registry attached with SetObserver, or nil.
+// The SPARQL engine resolves its per-query instruments through it.
+func (s *Store) Registry() *obs.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg
+}
+
+// MatchEach calls fn for each triple matching the pattern, in insertion
+// order, without materializing a result slice — the allocation-free
+// counterpart of Match for hot query loops. fn must not call back into the
+// store (the read lock is held across the iteration).
+func (s *Store) MatchEach(subj, pred, obj rdf.TermID, fn func(rdf.TripleID)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var candidates []int32
+	switch {
+	case subj != rdf.NoTerm:
+		s.probeSubj.Inc()
+		candidates = s.ixSubj.get(subj)
+	case obj != rdf.NoTerm:
+		s.probeObj.Inc()
+		candidates = s.ixObj.get(obj)
+	case pred != rdf.NoTerm:
+		s.probePred.Inc()
+		candidates = s.ixPred.get(pred)
+	default:
+		s.probeScan.Inc()
+		for _, t := range s.triples {
+			fn(t)
+		}
+		s.matchRows.Add(int64(len(s.triples)))
+		return
+	}
+	n := int64(0)
+	for _, pos := range candidates {
+		t := s.triples[pos]
+		if subj != rdf.NoTerm && t.S != subj {
+			continue
+		}
+		if pred != rdf.NoTerm && t.P != pred {
+			continue
+		}
+		if obj != rdf.NoTerm && t.O != obj {
+			continue
+		}
+		n++
+		fn(t)
+	}
+	s.matchRows.Add(n)
+}
+
 // Entity is the attribute view of one subject: parallel slices of predicate
 // and object ids, in insertion order.
 type Entity struct {
