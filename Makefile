@@ -17,7 +17,14 @@ BENCH_COUNT    ?= 5
 # ~100ms loader benchmarks still run just once per sample.
 BENCH_TIME     ?= 100ms
 
-.PHONY: build test test-short race bench bench-json bench-gate fuzz cover fmt vet lint check
+# Traffic-simulator knobs (cmd/alexsim): sim-smoke is the per-PR gate,
+# sim-soak the nightly long run (.github/workflows/soak.yml).
+SIM         = $(GO) run ./cmd/alexsim
+SIM_ROUNDS ?= 300
+SOAK_ROUNDS ?= 2000
+SOAK_SEED  ?= 1
+
+.PHONY: build test test-short race bench bench-json bench-gate fuzz cover fmt vet lint sim-smoke sim-soak check
 
 build:
 	$(GO) build ./...
@@ -67,4 +74,25 @@ vet:
 lint:
 	$(GO) run ./cmd/alexvet ./...
 
-check: build vet lint test race
+# The traffic-simulator smoke gate: every run checks the live-world
+# invariants (exit 1 on violation), and the op logs must be byte-identical
+# both across worker counts (seed 42) and across repeat runs (seed 7) —
+# the seed-reproducibility contract enforced on every PR. Each run covers
+# a scheduled NYTimes outage window with breaker recovery asserted.
+sim-smoke:
+	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -quiet -oplog simlog_42_w4.log
+	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -quiet -oplog simlog_42_w1.log
+	cmp simlog_42_w4.log simlog_42_w1.log
+	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_a.log
+	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_b.log
+	cmp simlog_7_a.log simlog_7_b.log
+	rm -f simlog_42_w4.log simlog_42_w1.log simlog_7_a.log simlog_7_b.log
+
+# The nightly soak: a longer, larger-scale run with the default mid-run
+# outage window, writing the JSON report (alexbench-compatible), a
+# Markdown summary for the CI step summary, and the full op log.
+sim-soak:
+	$(SIM) -seed $(SOAK_SEED) -rounds $(SOAK_ROUNDS) -ops-per-round 10 -scale 0.5 \
+	    -report SIM_soak.json -summary SIM_soak.md -oplog SIM_soak.log -quiet
+
+check: build vet lint test race sim-smoke

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -245,14 +246,41 @@ func writeResult(path string, res *Result) error {
 	return nil
 }
 
+// readResult loads and validates a result file. Validation is strict on
+// purpose: a zero-byte, corrupt or zero-mean result used to slide through
+// comparison as an across-the-board "improvement", silently passing the
+// regression gate — exactly when a broken benchmark run most needs to
+// fail it.
 func readResult(path string) (*Result, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return nil, fmt.Errorf("result file %s is empty (did the benchmark run fail?)", path)
+	}
 	var res Result
 	if err := json.Unmarshal(raw, &res); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
+		return nil, fmt.Errorf("result file %s is not valid benchmark JSON: %w", path, err)
+	}
+	if len(res.Benchmarks) == 0 {
+		return nil, fmt.Errorf("result file %s contains no benchmarks (truncated or wrong file?)", path)
+	}
+	names := make([]string, 0, len(res.Benchmarks))
+	for name := range res.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := res.Benchmarks[name]
+		switch {
+		case b == nil:
+			return nil, fmt.Errorf("result file %s: benchmark %q is null", path, name)
+		case len(b.SamplesNS) == 0:
+			return nil, fmt.Errorf("result file %s: benchmark %q has no samples", path, name)
+		case b.MeanNS <= 0:
+			return nil, fmt.Errorf("result file %s: benchmark %q has non-positive mean %g ns", path, name, b.MeanNS)
+		}
 	}
 	return &res, nil
 }

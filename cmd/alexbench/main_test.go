@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -200,5 +201,67 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"compare", "-old", "nope.json", "-new", "nope.json"}, &stdout, &stderr); code != 2 {
 		t.Errorf("missing files exit = %d, want 2", code)
+	}
+}
+
+// TestCompareRejectsInvalidResults locks in the fix for the silent-pass
+// bug: an empty, corrupt or zero-mean result file must fail the gate with
+// exit 2 and a clear message, not sail through as an "improvement".
+func TestCompareRejectsInvalidResults(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	goodJSON := `{"label":"ok","gomaxprocs":4,"benchmarks":{` +
+		`"BenchmarkX":{"samples_ns":[100,110],"mean_ns":105,"median_ns":105,"stddev_ns":7}}}`
+	if err := os.WriteFile(good, []byte(goodJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name    string
+		path    string
+		wantMsg string
+	}{
+		{"empty file", write("empty.json", ""), "is empty"},
+		{"whitespace only", write("blank.json", "  \n"), "is empty"},
+		{"corrupt JSON", write("corrupt.json", `{"label":"x","benchmarks":{`), "not valid benchmark JSON"},
+		{"no benchmarks", write("nobench.json", `{"label":"x","benchmarks":{}}`), "contains no benchmarks"},
+		{"null benchmark", write("null.json", `{"benchmarks":{"BenchmarkX":null}}`), "is null"},
+		{"no samples", write("nosamples.json",
+			`{"benchmarks":{"BenchmarkX":{"samples_ns":[],"mean_ns":105}}}`), "has no samples"},
+		{"zero mean", write("zeromean.json",
+			`{"benchmarks":{"BenchmarkX":{"samples_ns":[0],"mean_ns":0}}}`), "non-positive mean"},
+	}
+	for _, tc := range cases {
+		for _, side := range []string{"-old", "-new"} {
+			t.Run(tc.name+" "+side, func(t *testing.T) {
+				args := []string{"compare", "-old", good, "-new", good}
+				if side == "-old" {
+					args[2] = tc.path
+				} else {
+					args[4] = tc.path
+				}
+				var stdout, stderr bytes.Buffer
+				code := run(args, &stdout, &stderr)
+				if code != 2 {
+					t.Fatalf("exit = %d, want 2; stdout=%q stderr=%q", code, stdout.String(), stderr.String())
+				}
+				if !strings.Contains(stderr.String(), tc.wantMsg) {
+					t.Errorf("stderr %q missing %q", stderr.String(), tc.wantMsg)
+				}
+			})
+		}
+	}
+
+	// The good file still compares cleanly against itself.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"compare", "-old", good, "-new", good}, &stdout, &stderr); code != 0 {
+		t.Fatalf("valid self-compare exit = %d: %s", code, stderr.String())
 	}
 }

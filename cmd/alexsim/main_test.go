@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSim drives the whole command in-process and returns (exit, stdout,
+// stderr).
+func runSim(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSmokeCleanRun(t *testing.T) {
+	code, stdout, stderr := runSim(t,
+		"-seed", "42", "-rounds", "8", "-ops-per-round", "4", "-scale", "0.1")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"### alexsim: seed 42", "violations **0**", "| op | count |"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestSeedReproducible runs the same seed twice and requires byte-equal
+// op logs — the gate CI enforces on every PR.
+func TestSeedReproducible(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.log")
+	b := filepath.Join(dir, "b.log")
+	for _, path := range []string{a, b} {
+		code, _, stderr := runSim(t,
+			"-seed", "7", "-rounds", "8", "-ops-per-round", "4", "-scale", "0.1",
+			"-quiet", "-oplog", path)
+		if code != 0 {
+			t.Fatalf("exit = %d; stderr:\n%s", code, stderr)
+		}
+	}
+	la, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(la, lb) {
+		t.Fatal("op logs differ between two runs of the same seed")
+	}
+	if len(la) == 0 {
+		t.Fatal("op log is empty")
+	}
+}
+
+func TestReportAndSummaryFiles(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "SIM.json")
+	summary := filepath.Join(dir, "summary.md")
+	code, _, stderr := runSim(t,
+		"-seed", "3", "-rounds", "6", "-ops-per-round", "4", "-scale", "0.1",
+		"-quiet", "-report", report, "-summary", summary)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, stderr)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Label      string                     `json:"label"`
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+		Sim        struct {
+			Seed int64 `json:"seed"`
+			Ops  int   `json:"ops"`
+		} `json:"sim"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if parsed.Label != "sim" || parsed.Sim.Seed != 3 || parsed.Sim.Ops != 24 {
+		t.Errorf("report fields = %+v, want label=sim seed=3 ops=24", parsed)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		t.Error("report has no benchmarks map; alexbench compare would see nothing")
+	}
+	for name := range parsed.Benchmarks {
+		if !strings.HasPrefix(name, "SimOp/") {
+			t.Errorf("benchmark name %q does not use the SimOp/ prefix", name)
+		}
+	}
+	md, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### alexsim: seed 3") {
+		t.Errorf("summary missing header:\n%s", md)
+	}
+}
+
+// TestViolationExitCode forces a heap-bound violation and expects exit 1
+// with the violation on stderr.
+func TestViolationExitCode(t *testing.T) {
+	code, _, stderr := runSim(t,
+		"-seed", "1", "-rounds", "2", "-ops-per-round", "2", "-scale", "0.1",
+		"-quiet", "-max-heap", "1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "invariant violation") || !strings.Contains(stderr, "heap_bound") {
+		t.Errorf("stderr missing violation detail:\n%s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"positional"},
+		{"-rounds", "25", "-outage-from", "3"},           // -outage-to missing
+		{"-rounds", "0"},                                 // rejected by traffic.Config
+		{"-rounds", "10", "-ops-per-round", "0"},         // rejected by traffic.Config
+		{"-rounds", "5", "-oplog", "/nonexistent/x.log"}, // unwritable oplog
+	}
+	for _, args := range cases {
+		if code, _, _ := runSim(t, args...); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}

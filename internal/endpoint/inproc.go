@@ -1,0 +1,103 @@
+package endpoint
+
+// Server runs a Handler on a real loopback listener with test-mode hooks:
+// in-flight request tracking, a served-request counter, and graceful
+// drain. It exists for harnesses that need a live HTTP endpoint inside the
+// process — the traffic simulator (internal/traffic, cmd/alexsim) serves a
+// store through it and asserts at the end of a run that the server drains
+// cleanly with zero requests still in flight — but it is equally usable as
+// a production-ish embedded server (sparqld binds its own socket instead
+// because it serves a fixed address).
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+)
+
+// Server serves an http.Handler on an OS-assigned loopback port.
+type Server struct {
+	handler http.Handler
+	srv     *http.Server
+	ln      net.Listener
+	url     string
+
+	inFlight atomic.Int64
+	served   atomic.Int64
+	draining atomic.Bool
+	done     chan struct{}
+}
+
+// NewServer wraps handler; call Start to begin serving.
+func NewServer(handler http.Handler) *Server {
+	return &Server{handler: handler, done: make(chan struct{})}
+}
+
+// Start binds a loopback listener and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("endpoint: listening: %w", err)
+	}
+	s.ln = ln
+	s.url = "http://" + ln.Addr().String()
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.serve)}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed after Drain/Close; any other error
+		// surfaces as requests failing, which the caller observes directly.
+		_ = s.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// serve is the instrumented entry point: it rejects new work while
+// draining and tracks the in-flight and served counters around the inner
+// handler.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	defer s.served.Add(1)
+	s.handler.ServeHTTP(w, r)
+}
+
+// URL returns the base URL (e.g. "http://127.0.0.1:41873"). Valid after
+// Start.
+func (s *Server) URL() string { return s.url }
+
+// SparqlURL returns the /sparql route URL, the base a Client takes.
+func (s *Server) SparqlURL() string { return s.url + "/sparql" }
+
+// InFlight reports the number of requests currently inside the handler.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// Served reports the number of requests completed since Start (including
+// error responses, excluding requests rejected while draining).
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Drain stops accepting new requests (they get 503), waits for in-flight
+// ones to finish and shuts the listener down. It returns ctx.Err() if the
+// context expires first. Safe to call at most once; Close afterwards is a
+// no-op.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("endpoint: drain: %w", err)
+	}
+	<-s.done
+	return nil
+}
+
+// Close shuts the server down immediately, dropping in-flight requests.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

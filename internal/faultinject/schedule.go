@@ -1,0 +1,128 @@
+package faultinject
+
+// Scheduled outage windows: a deterministic, logical-time fault plan. The
+// traffic simulator (internal/traffic) advances a Schedule by round index
+// at barrier points, so the same seed and schedule reproduce the identical
+// outage/recovery sequence at any worker count — no wall clock involved.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Window is one planned hard outage of a named source, covering the
+// half-open logical-time interval [From, To). Ticks are whatever unit the
+// driver advances by — the traffic simulator uses round indexes.
+type Window struct {
+	Source   string
+	From, To int
+}
+
+func (w Window) String() string {
+	return fmt.Sprintf("%s down [%d,%d)", w.Source, w.From, w.To)
+}
+
+// Schedule is an ordered set of outage windows. The zero value is an empty
+// schedule. It is immutable after construction and safe for concurrent
+// reads.
+type Schedule struct {
+	windows []Window
+}
+
+// NewSchedule returns a schedule over the given windows. Windows with
+// From >= To are dropped (empty intervals). Windows are kept sorted by
+// (From, Source) so iteration order is deterministic.
+func NewSchedule(windows ...Window) *Schedule {
+	s := &Schedule{}
+	for _, w := range windows {
+		if w.From < w.To {
+			s.windows = append(s.windows, w)
+		}
+	}
+	sort.Slice(s.windows, func(i, j int) bool {
+		if s.windows[i].From != s.windows[j].From {
+			return s.windows[i].From < s.windows[j].From
+		}
+		return s.windows[i].Source < s.windows[j].Source
+	})
+	return s
+}
+
+// Windows returns the schedule's windows in (From, Source) order.
+func (s *Schedule) Windows() []Window {
+	if s == nil {
+		return nil
+	}
+	return s.windows
+}
+
+// DownAt reports whether source is inside any outage window at tick.
+func (s *Schedule) DownAt(source string, tick int) bool {
+	if s == nil {
+		return false
+	}
+	for _, w := range s.windows {
+		if w.Source == source && tick >= w.From && tick < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Transition describes a source flipping between up and down when the
+// clock advances to a tick.
+type Transition struct {
+	Source string
+	Down   bool
+}
+
+// TransitionsAt returns the sources whose state changes when the logical
+// clock moves from tick-1 to tick, in deterministic (source-name) order.
+// At tick 0 every source opening a window at 0 reports a down transition.
+func (s *Schedule) TransitionsAt(tick int) []Transition {
+	if s == nil {
+		return nil
+	}
+	state := make(map[string]bool)  // source -> down at tick
+	before := make(map[string]bool) // source -> down at tick-1
+	names := make(map[string]bool)
+	for _, w := range s.windows {
+		names[w.Source] = true
+		if tick >= w.From && tick < w.To {
+			state[w.Source] = true
+		}
+		if tick-1 >= w.From && tick-1 < w.To {
+			before[w.Source] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []Transition
+	for _, n := range sorted {
+		now, prev := state[n], before[n]
+		if tick == 0 {
+			prev = false
+		}
+		if now != prev {
+			out = append(out, Transition{Source: n, Down: now})
+		}
+	}
+	return out
+}
+
+// Apply drives a set of fault-injecting sources from the schedule: each
+// named source's hard-outage flag is set to its scheduled state at tick.
+// Unknown names are ignored. It returns the transitions that occurred,
+// in source-name order.
+func (s *Schedule) Apply(tick int, sources map[string]*Source) []Transition {
+	trs := s.TransitionsAt(tick)
+	for _, tr := range trs {
+		if src := sources[tr.Source]; src != nil {
+			src.SetDown(tr.Down)
+		}
+	}
+	return trs
+}

@@ -124,7 +124,7 @@ func TestCtxFlowAllowList(t *testing.T) {
 }
 
 func TestNoDeterminism(t *testing.T) {
-	runFixture(t, "nodeterminism", &NoDeterminism{Packages: []string{"fix/det"}})
+	runFixture(t, "nodeterminism", &NoDeterminism{Packages: []string{"fix/det", "fix/traffic"}})
 }
 
 func TestErrWrap(t *testing.T) {

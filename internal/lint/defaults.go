@@ -17,6 +17,7 @@ func DefaultAnalyzers(modulePath string) []Analyzer {
 			internal("experiment"),
 			internal("datagen"),
 			internal("faultinject"),
+			internal("traffic"),
 		}},
 		&ErrWrap{},
 		&NoPanic{},

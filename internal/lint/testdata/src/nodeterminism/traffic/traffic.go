@@ -1,0 +1,67 @@
+// Package traffic mirrors the real internal/traffic simulator, which is
+// covered by the nodeterminism policy: its seed-reproducibility gate
+// (byte-identical op logs per seed) dies the moment a wall-clock read or
+// an unseeded draw sneaks into scheduling, so those are flagged here just
+// like in the RL and experiment packages.
+package traffic
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type op struct {
+	kind string
+	seed int64
+}
+
+func scheduleFromGlobalRand(kinds []string) []op {
+	ops := make([]op, len(kinds))
+	for i, k := range kinds {
+		ops[i] = op{kind: k, seed: rand.Int63()} // want `rand\.Int63 draws from the global source in a deterministic package`
+	}
+	return ops
+}
+
+func scheduleSeeded(kinds []string, seed int64) []op {
+	rng := rand.New(rand.NewSource(seed)) // ok: explicit seed; draws go through the instance
+	ops := make([]op, len(kinds))
+	for i, k := range kinds {
+		ops[i] = op{kind: k, seed: rng.Int63()}
+	}
+	return ops
+}
+
+func opLatency(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock in a deterministic package`
+}
+
+func injectedClock(now func() time.Time, start time.Time) time.Duration {
+	return now().Sub(start) // ok: injected clock, a time.Time method computes the span
+}
+
+func weightsUnordered(weights map[string]int) []string {
+	var kinds []string
+	for k := range weights { // want `map iteration order leaks into kinds`
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+func weightsOrdered(weights map[string]int) []string {
+	var kinds []string
+	for k := range weights { // ok: sorted before the schedule is built
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func totalWeight(weights map[string]int) int {
+	total := 0
+	for _, w := range weights { // ok: commutative aggregation
+		total += w
+	}
+	return total
+}

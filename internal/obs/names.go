@@ -85,6 +85,30 @@ const (
 	LoadParallelNS = "load.parallel.ns"
 )
 
+// Traffic simulator (internal/traffic, cmd/alexsim).
+const (
+	// SimOps counts operations executed by the simulator.
+	SimOps = "sim.ops"
+	// SimOpErrors counts operations that returned an error (after
+	// classification; scheduled-outage partial results are not errors).
+	SimOpErrors = "sim.op_errors"
+	// SimRounds counts simulation rounds completed.
+	SimRounds = "sim.rounds"
+	// SimViolations counts invariant violations detected during a run.
+	SimViolations = "sim.invariant_violations"
+	// SimOutageTransitions counts scheduled outage/recovery flips applied
+	// to fault-injected sources.
+	SimOutageTransitions = "sim.outage_transitions"
+	// SimFeedbackEpisodes counts feedback episodes the simulator drove
+	// through the engine.
+	SimFeedbackEpisodes = "sim.feedback.episodes"
+)
+
+// SimOpNS names the per-operation-kind latency histogram of the traffic
+// simulator (kinds: select_entity, ask_entity, fed_join, fed_ask,
+// feedback, bulk_load, outage_toggle).
+func SimOpNS(kind string) string { return "sim.op." + kind + ".ns" }
+
 // FedSourceMatchNS names the per-source match-latency histogram.
 func FedSourceMatchNS(source string) string { return "fed.source." + source + ".match_ns" }
 
@@ -149,6 +173,12 @@ func MetricNames() []string {
 		LoadParallelNS,
 		LoadParallelTriples,
 		LoadParallelWorkers,
+		SimFeedbackEpisodes,
+		SimViolations,
+		SimOpErrors,
+		SimOps,
+		SimOutageTransitions,
+		SimRounds,
 		SparqlPlanReorders,
 		SparqlRowsMaterialized,
 	}
@@ -162,6 +192,7 @@ func MetricPatterns() []string {
 		"endpoint.status.<code>",
 		FedBreakerState("<source>"),
 		FedSourceMatchNS("<source>"),
+		SimOpNS("<kind>"),
 		SparqlStageRows("<stage>"),
 		StoreProbeObject("<dataset>"),
 		StoreProbePredicate("<dataset>"),

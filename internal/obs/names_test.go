@@ -53,6 +53,7 @@ func TestBuildersMatchPatterns(t *testing.T) {
 		FedSourceMatchNS("dbpedia"): FedSourceMatchNS("<source>"),
 		FedBreakerState("dbpedia"):  FedBreakerState("<source>"),
 		EndpointStatus(200):         "endpoint.status.<code>",
+		SimOpNS("fed_join"):         SimOpNS("<kind>"),
 		SparqlStageRows("bgp"):      SparqlStageRows("<stage>"),
 		StoreProbeSubject("nba"):    StoreProbeSubject("<dataset>"),
 		StoreProbeObject("nba"):     StoreProbeObject("<dataset>"),

@@ -1,0 +1,224 @@
+package traffic
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"alex/internal/core"
+	"alex/internal/fed"
+	"alex/internal/rdf"
+	"alex/internal/sparql"
+	"alex/internal/store"
+)
+
+// opFuncs maps each kind (except outage_toggle, which the harness owns)
+// to its implementation. Every op derives all randomness from the rng it
+// receives, built from the op's scheduled seed, so its result is a pure
+// function of (world state, seed) — the property the shadow oracle checks.
+var opFuncs = map[string]func(ctx context.Context, w *world, rng *rand.Rand) (string, error){
+	OpSelectEntity: opSelectEntity,
+	OpAskEntity:    opAskEntity,
+	OpFedJoin:      opFedJoin,
+	OpFedAsk:       opFedAsk,
+	OpFeedback:     opFeedback,
+	OpBulkLoad:     opBulkLoad,
+}
+
+// opSelectEntity fetches one DS1 entity's attributes over the SPARQL
+// protocol endpoint.
+func opSelectEntity(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	subj := w.subjects1[rng.Intn(len(w.subjects1))]
+	q := fmt.Sprintf("SELECT ?p ?o WHERE { %s ?p ?o }", w.term(subj))
+	w.httpOps.Add(1)
+	res, err := w.client.QueryContext(ctx, q)
+	if err != nil {
+		return fmt.Sprintf("subj=%d", subj), fmt.Errorf("select_entity: %w", err)
+	}
+	return fmt.Sprintf("subj=%d rows=%d digest=%016x", subj, len(res.Rows), digestBindings(res.Rows)), nil
+}
+
+// opAskEntity probes entity existence over the endpoint; half the draws
+// use a DS2 subject, which DS1 does not store, so both answers occur.
+// Deliberately uses QueryContext rather than the client's cached Ask path:
+// every op must hit the wire for the served-request reconciliation.
+func opAskEntity(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	subjects := w.subjects1
+	if rng.Intn(2) == 1 {
+		subjects = w.subjects2
+	}
+	subj := subjects[rng.Intn(len(subjects))]
+	q := fmt.Sprintf("ASK { %s ?p ?o }", w.term(subj))
+	w.httpOps.Add(1)
+	res, err := w.client.QueryContext(ctx, q)
+	if err != nil {
+		return fmt.Sprintf("subj=%d", subj), fmt.Errorf("ask_entity: %w", err)
+	}
+	return fmt.Sprintf("subj=%d ans=%t", subj, res.Boolean), nil
+}
+
+// opFedJoin runs an unbound-predicate entity description against the
+// federation: DS1 answers directly, and the sameAs rewriter pulls in DS2
+// attributes for every candidate link of the subject, so the result
+// evolves with the engine's link set.
+func opFedJoin(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	subj := w.subjects1[rng.Intn(len(w.subjects1))]
+	q := fmt.Sprintf("SELECT ?p ?o WHERE { %s ?p ?o }", w.term(subj))
+	res, err := w.fedn.ExecuteContext(ctx, q)
+	if err != nil {
+		return fmt.Sprintf("subj=%d", subj), fmt.Errorf("fed_join: %w", err)
+	}
+	links := 0
+	for _, a := range res.Answers {
+		links += len(a.Used)
+	}
+	return fmt.Sprintf("subj=%d rows=%d links=%d%s digest=%016x",
+		subj, len(res.Answers), links, skippedSuffix(res), digestAnswers(res.Answers)), nil
+}
+
+// opFedAsk runs a bound-predicate federated ASK, exercising the
+// predicate-presence source-selection probes; subjects mix DS1 and DS2
+// sides so member routing varies.
+func opFedAsk(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	subjects := w.subjects1
+	if rng.Intn(2) == 1 {
+		subjects = w.subjects2
+	}
+	subj := subjects[rng.Intn(len(subjects))]
+	pred := w.preds1[rng.Intn(len(w.preds1))]
+	q := fmt.Sprintf("ASK { %s %s ?o }", w.term(subj), w.term(pred))
+	res, err := w.fedn.ExecuteContext(ctx, q)
+	if err != nil {
+		return fmt.Sprintf("subj=%d", subj), fmt.Errorf("fed_ask: %w", err)
+	}
+	return fmt.Sprintf("subj=%d pred=%d ans=%t%s", subj, pred, res.AskResult(), skippedSuffix(res)), nil
+}
+
+// opFeedback samples candidate links, judges them against the ground
+// truth (a pure judge: verdicts never depend on call order), and drives
+// one engine episode; the federation's link set is refreshed afterwards.
+func opFeedback(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("feedback: %w", err)
+	}
+	cands := w.engine.Candidates().Links()
+	if len(cands) == 0 {
+		return "items=0 noop", nil
+	}
+	k := 8 + rng.Intn(24)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	idx := rng.Perm(len(cands))[:k]
+	sort.Ints(idx)
+	items := make([]core.Feedback, 0, k)
+	pos := 0
+	for _, i := range idx {
+		l := cands[i]
+		approved := w.truth.Contains(l)
+		if approved {
+			pos++
+		}
+		items = append(items, core.Feedback{Link: l, Approved: approved})
+		// Converged partitions are frozen: they ignore feedback, so
+		// verdicts routed to them must not enter the invariant ledger
+		// (a rejection there is legitimately never acted on).
+		if pi, ok := w.engine.PartitionOf(l.Left); ok && !w.engine.PartitionConverged(pi) {
+			w.recordJudgement(l, approved)
+		}
+	}
+	st := w.engine.ApplyEpisode(items)
+	w.fedn.SetLinks(w.engine.Candidates())
+	w.episodes++
+	w.episodeCounter.Inc()
+	return fmt.Sprintf("items=%d pos=%d neg=%d added=%d removed=%d changed=%d candidates=%d",
+		k, pos, k-pos, st.Added, st.Removed, st.Changed, st.Candidates), nil
+}
+
+// opBulkLoad streams a fresh batch of N-Triples into the aux store — the
+// federation's third member — growing it monotonically over the run.
+func opBulkLoad(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("bulk_load: %w", err)
+	}
+	entities := 16 + rng.Intn(16)
+	var b strings.Builder
+	for i := 0; i < entities; i++ {
+		id := w.auxSeq
+		w.auxSeq++
+		fmt.Fprintf(&b, "<http://alexsim.invalid/aux/e%d> <http://alexsim.invalid/aux/name> \"aux entity %d\" .\n", id, id)
+		fmt.Fprintf(&b, "<http://alexsim.invalid/aux/e%d> <http://alexsim.invalid/aux/batch> \"%d\" .\n", id, id%7)
+	}
+	n, err := store.LoadNTriples(w.aux, strings.NewReader(b.String()), store.LoadOptions{
+		Workers: 1,
+		Obs:     w.cfg.Obs,
+	})
+	if err != nil {
+		return fmt.Sprintf("entities=%d", entities), fmt.Errorf("bulk_load: %w", err)
+	}
+	return fmt.Sprintf("entities=%d triples=%d total=%d", entities, n, w.aux.Len()), nil
+}
+
+// skippedSuffix renders a partial result's skipped member names (sorted;
+// skip *reasons* are excluded — breaker-open vs retry-exhausted depends on
+// batch interleaving, the skipped set does not).
+func skippedSuffix(res *fed.Result) string {
+	if len(res.Skipped) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(res.Skipped))
+	for _, s := range res.Skipped {
+		names = append(names, s.Source)
+	}
+	sort.Strings(names)
+	return " partial=" + strings.Join(names, ",")
+}
+
+// digestBindings hashes a row set order-independently: each row renders to
+// a canonical string, the rendered rows are sorted, and the result is
+// FNV-1a hashed. Two result sets digest equally iff they contain the same
+// multiset of rows.
+func digestBindings(rows []sparql.Binding) uint64 {
+	rendered := make([]string, len(rows))
+	for i, r := range rows {
+		rendered[i] = renderBinding(r)
+	}
+	sort.Strings(rendered)
+	h := fnv.New64a()
+	for _, s := range rendered {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+func digestAnswers(answers []fed.Answer) uint64 {
+	rows := make([]sparql.Binding, len(answers))
+	for i, a := range answers {
+		rows[i] = a.Binding
+	}
+	return digestBindings(rows)
+}
+
+func renderBinding(b sparql.Binding) string {
+	vars := make([]string, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for _, v := range vars {
+		sb.WriteString(v)
+		sb.WriteByte('=')
+		sb.WriteString(renderTerm(b[v]))
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+func renderTerm(t rdf.Term) string {
+	return fmt.Sprintf("%d|%s|%s|%s", t.Kind, t.Value, t.Lang, t.Datatype)
+}

@@ -1,0 +1,208 @@
+package traffic
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"alex/internal/faultinject"
+	"alex/internal/obs"
+)
+
+// testConfig is a small, fast run shape shared by the tests.
+func testConfig(seed int64, workers int, log *bytes.Buffer) Config {
+	return Config{
+		Seed:        seed,
+		Rounds:      12,
+		OpsPerRound: 5,
+		Workers:     workers,
+		Scale:       0.12,
+		SampleEvery: 8,
+		Obs:         obs.NewRegistry(),
+		OpLog:       log,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func TestRunCleanAndCounts(t *testing.T) {
+	var log bytes.Buffer
+	rep := mustRun(t, testConfig(7, 4, &log))
+	if n := len(rep.Sim.Violations); n != 0 {
+		t.Fatalf("violations = %d, want 0:\n%v", n, rep.Sim.Violations)
+	}
+	if want := 12 * 5; rep.Sim.Ops != want {
+		t.Errorf("ops = %d, want %d", rep.Sim.Ops, want)
+	}
+	if rep.Sim.Episodes == 0 {
+		t.Error("no feedback episodes ran; weights should include feedback")
+	}
+	if rep.Sim.HTTPServed == 0 {
+		t.Error("no HTTP requests served; endpoint ops did not hit the wire")
+	}
+	for _, line := range []string{"inv drain_clean ok", "inv http_accounting", "# run complete"} {
+		if !strings.Contains(log.String(), line) {
+			t.Errorf("op log missing %q", line)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the core contract: the same seed
+// must produce a byte-identical op log and equal outcomes at any worker
+// count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var log1, log8 bytes.Buffer
+	rep1 := mustRun(t, testConfig(42, 1, &log1))
+	rep8 := mustRun(t, testConfig(42, 8, &log8))
+	if !bytes.Equal(log1.Bytes(), log8.Bytes()) {
+		t.Fatalf("op logs differ between workers=1 and workers=8:\n--- w1 ---\n%s\n--- w8 ---\n%s",
+			firstDiff(log1.String(), log8.String()), "")
+	}
+	if len(rep1.Sim.Violations) != 0 || len(rep8.Sim.Violations) != 0 {
+		t.Fatalf("violations: w1=%v w8=%v", rep1.Sim.Violations, rep8.Sim.Violations)
+	}
+	if rep1.Sim.Candidates != rep8.Sim.Candidates || rep1.Sim.Episodes != rep8.Sim.Episodes {
+		t.Errorf("outcomes differ: w1 candidates=%d episodes=%d, w8 candidates=%d episodes=%d",
+			rep1.Sim.Candidates, rep1.Sim.Episodes, rep8.Sim.Candidates, rep8.Sim.Episodes)
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			return "line " + al[i]
+		}
+	}
+	return "(b longer than a)"
+}
+
+// TestRunDifferentSeedsDiffer guards against the scheduler ignoring the
+// seed.
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	var log1, log2 bytes.Buffer
+	mustRun(t, testConfig(1, 2, &log1))
+	mustRun(t, testConfig(2, 2, &log2))
+	if bytes.Equal(log1.Bytes(), log2.Bytes()) {
+		t.Fatal("different seeds produced identical op logs")
+	}
+}
+
+// TestOutageBreakerRecovery drives a scheduled outage window dense enough
+// in federated traffic for the breaker to open, and requires both the
+// breaker_open and breaker_recovery invariant lines to pass.
+func TestOutageBreakerRecovery(t *testing.T) {
+	var log bytes.Buffer
+	cfg := Config{
+		Seed:        11,
+		Rounds:      14,
+		OpsPerRound: 8,
+		Workers:     4,
+		Scale:       0.12,
+		Outages:     []faultinject.Window{{Source: "NYTimes", From: 4, To: 9}},
+		Weights: map[string]int{
+			OpFedJoin:  60,
+			OpFedAsk:   20,
+			OpFeedback: 10,
+		},
+		Obs:   obs.NewRegistry(),
+		OpLog: &log,
+	}
+	rep := mustRun(t, cfg)
+	if n := len(rep.Sim.Violations); n != 0 {
+		t.Fatalf("violations = %d:\n%v", n, rep.Sim.Violations)
+	}
+	text := log.String()
+	for _, line := range []string{
+		"outage NYTimes down",
+		"inv breaker_open source=NYTimes",
+		"outage NYTimes up",
+		"inv breaker_recovery source=NYTimes state=closed ok",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("op log missing %q", line)
+		}
+	}
+	if rep.Sim.OutageTransitions < 2 {
+		t.Errorf("outage transitions = %d, want >= 2", rep.Sim.OutageTransitions)
+	}
+}
+
+// TestShadowOracleRuns checks the sampled re-execution actually fires and
+// passes on a clean run.
+func TestShadowOracleRuns(t *testing.T) {
+	var log bytes.Buffer
+	cfg := testConfig(5, 4, &log)
+	cfg.SampleEvery = 4
+	mustRun(t, cfg)
+	if !strings.Contains(log.String(), "inv shadow_oracle op=") {
+		t.Error("no shadow_oracle lines in op log")
+	}
+}
+
+// TestHeapBoundViolation sets an impossible heap bound and expects the
+// run to complete with recorded violations rather than an error.
+func TestHeapBoundViolation(t *testing.T) {
+	var log bytes.Buffer
+	cfg := testConfig(3, 2, &log)
+	cfg.Rounds = 2
+	cfg.MaxHeapBytes = 1
+	rep := mustRun(t, cfg)
+	if len(rep.Sim.Violations) == 0 {
+		t.Fatal("expected heap_bound violations, got none")
+	}
+	for _, v := range rep.Sim.Violations {
+		if v.Invariant != "heap_bound" {
+			t.Errorf("unexpected violation %v", v)
+		}
+	}
+	if !strings.Contains(log.String(), "inv heap_bound VIOLATION") {
+		t.Error("op log missing the heap_bound violation line")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := func() Config { return testConfig(1, 1, nil) }
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"zero ops", func(c *Config) { c.OpsPerRound = 0 }},
+		{"unknown weight kind", func(c *Config) { c.Weights = map[string]int{"nonsense": 1} }},
+		{"all zero weights", func(c *Config) { c.Weights = map[string]int{OpFedJoin: 0} }},
+		{"negative weight", func(c *Config) { c.Weights = map[string]int{OpFedJoin: -1} }},
+		{"unknown outage source", func(c *Config) {
+			c.Outages = []faultinject.Window{{Source: "nope", From: 1, To: 2}}
+		}},
+		{"outage past last round", func(c *Config) {
+			c.Outages = []faultinject.Window{{Source: "NYTimes", From: 1, To: 99}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := Run(context.Background(), cfg); err == nil {
+				t.Fatal("Run accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestCanceledContext must abort with an error, not hang or report clean.
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig(1, 1, nil)); err == nil {
+		t.Fatal("Run ignored a canceled context")
+	}
+}

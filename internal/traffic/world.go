@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"alex/internal/core"
+	"alex/internal/datagen"
+	"alex/internal/endpoint"
+	"alex/internal/faultinject"
+	"alex/internal/fed"
+	"alex/internal/linkset"
+	"alex/internal/obs"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// Data-set names of the generated pair; the outage schedule refers to
+// federation members by these names.
+const (
+	dsName1 = "DBpedia"
+	dsName2 = "NYTimes"
+	auxName = "aux"
+)
+
+// world is the live system under test: the generated data-set pair, an
+// HTTP SPARQL endpoint over DS1, a federation whose DS2 and aux members
+// are fault-injected, and an ALEX engine owning the link set.
+type world struct {
+	cfg  Config
+	dict *rdf.Dict
+	ds1  *store.Store
+	ds2  *store.Store
+	aux  *store.Store
+
+	truth  *linkset.Set
+	engine *core.Engine
+
+	server *endpoint.Server
+	client *endpoint.Client
+	httpTr *http.Transport
+	fedn   *fed.Federation
+	flaky  map[string]*faultinject.Source
+
+	// subjects1/subjects2 are the entity samples ops draw from; preds1 the
+	// DS1 predicates for bound-predicate federated lookups. All fixed at
+	// build time.
+	subjects1 []rdf.TermID
+	subjects2 []rdf.TermID
+	preds1    []rdf.TermID
+
+	// httpOps counts SPARQL protocol requests issued by operations
+	// (including shadow re-executions); reconciled against the server's
+	// own served counter at the end of the run.
+	httpOps atomic.Int64
+
+	// Serial-op state: the bulk_load entity cursor and judged-link ledger
+	// (mutated only between batches).
+	auxSeq    int
+	episodes  int
+	judged    map[linkset.Link]bool
+	confirmed []linkset.Link
+	rejected  []linkset.Link
+
+	episodeCounter *obs.Counter
+}
+
+// buildWorld generates the data sets, starts the endpoint and assembles
+// the federation and engine. Everything derives from cfg.Seed.
+func buildWorld(ctx context.Context, cfg Config) (*world, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("traffic: build canceled: %w", err)
+	}
+	pair := datagen.GeneratePair(datagen.DBpediaNYTimes(cfg.Scale, cfg.Seed))
+	w := &world{
+		cfg:    cfg,
+		dict:   pair.Dict,
+		ds1:    pair.DS1,
+		ds2:    pair.DS2,
+		truth:  pair.Truth,
+		judged: make(map[linkset.Link]bool),
+		flaky:  make(map[string]*faultinject.Source),
+	}
+	w.aux = store.New(auxName, pair.Dict)
+	w.subjects1 = pair.DS1.Subjects()
+	w.subjects2 = pair.DS2.Subjects()
+	w.preds1 = pair.DS1.Predicates()
+	if len(w.subjects1) == 0 || len(w.subjects2) == 0 {
+		return nil, fmt.Errorf("traffic: generated pair is empty at scale %g", cfg.Scale)
+	}
+
+	ecfg := core.Defaults()
+	ecfg.Seed = cfg.Seed
+	ecfg.Partitions = 4
+	ecfg.Workers = cfg.Workers
+	ecfg.EpisodeSize = 64
+	ecfg.MaxEpisodes = 1 << 20
+	w.engine = core.New(pair.DS1, pair.DS2, ecfg)
+	w.engine.SetObserver(cfg.Obs)
+	w.engine.SetInitialLinks(initialLinks(pair, cfg.Seed))
+
+	handler := endpoint.NewHandler(pair.DS1)
+	handler.SetObserver(cfg.Obs)
+	w.server = endpoint.NewServer(handler)
+	if err := w.server.Start(); err != nil {
+		return nil, fmt.Errorf("traffic: start endpoint: %w", err)
+	}
+	w.httpTr = &http.Transport{MaxIdleConnsPerHost: cfg.Workers + 2}
+	w.client = endpoint.NewClient(dsName1, w.server.SparqlURL(), &http.Client{Transport: w.httpTr})
+
+	w.fedn = fed.New(pair.Dict, pair.DS1)
+	for _, st := range []*store.Store{pair.DS2, w.aux} {
+		src := faultinject.Wrap(fed.LocalSource(st), faultinject.Config{Seed: cfg.Seed})
+		w.flaky[st.Name()] = src
+		w.fedn.AddSource(src)
+	}
+	// Clock-free resilience: zero backoff and zero cooldown keep retries
+	// and the open->half-open transition independent of wall time, so
+	// breaker behavior is a pure function of the call sequence.
+	w.fedn.SetResilience(fed.Resilience{
+		MaxRetries:      1,
+		BreakerFailures: 3,
+		BreakerProbes:   1,
+		PartialResults:  true,
+		Seed:            cfg.Seed,
+	})
+	w.fedn.SetParallelism(cfg.Workers)
+	w.fedn.SetObserver(cfg.Obs)
+	w.fedn.SetLinks(w.engine.Candidates())
+	return w, nil
+}
+
+// initialLinks seeds the engine with the ground truth plus decoy links, so
+// feedback has both confirmations and rejections to hand out.
+func initialLinks(pair *datagen.Pair, seed int64) []linkset.Link {
+	links := pair.Truth.Links()
+	s1 := pair.DS1.Subjects()
+	s2 := pair.DS2.Subjects()
+	rng := rand.New(rand.NewSource(seed + 1))
+	decoys := len(links)/2 + 1
+	for i := 0; i < decoys; i++ {
+		l := linkset.Link{
+			Left:  s1[rng.Intn(len(s1))],
+			Right: s2[rng.Intn(len(s2))],
+		}
+		if !pair.Truth.Contains(l) {
+			links = append(links, l)
+		}
+	}
+	return links
+}
+
+func (w *world) close() {
+	if w.httpTr != nil {
+		w.httpTr.CloseIdleConnections()
+	}
+	if w.server != nil {
+		w.server.Close()
+	}
+}
+
+// term renders a TermID as its SPARQL surface form.
+func (w *world) term(id rdf.TermID) string {
+	return w.dict.Term(id).String()
+}
+
+// recordJudgement maintains the confirmed/rejected ledgers that back the
+// link-set invariants. The truth-based judge is pure, so a link's verdict
+// never flips; first judgement wins.
+func (w *world) recordJudgement(l linkset.Link, approved bool) {
+	if w.judged[l] {
+		return
+	}
+	w.judged[l] = true
+	if approved {
+		w.confirmed = append(w.confirmed, l)
+	} else {
+		w.rejected = append(w.rejected, l)
+	}
+}
+
+// drainServer shuts the endpoint down cleanly at the end of a run.
+func (w *world) drainServer(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	return w.server.Drain(dctx)
+}
