@@ -6,11 +6,13 @@ GO ?= go
 # The benchmarks pinned by the CI regression gate: bulk loading, dictionary
 # interning, exploration (feature-space range scans and engine episodes),
 # the single-store slot engine (A/B vs the legacy evaluator, planned vs
-# written join order) and the federated processor (join reorderer plus an
-# end-to-end cross-source join). Keep this list in sync with the
-# "Performance" section of README.md.
-BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd)$$
-BENCH_GATE_PKGS = .,./internal/store,./internal/rdf
+# written join order), the federated processor (join reorderer plus an
+# end-to-end cross-source join) and the serving layer (repeat-query
+# cold/hit pair whose ratio is the cache win, and the saturated-endpoint
+# latency). Keep this list in sync with the "Performance" section of
+# README.md.
+BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd|BenchmarkEndpointRepeatQuery(Cold|Hit)|BenchmarkEndpointSaturation)$$
+BENCH_GATE_PKGS = .,./internal/store,./internal/rdf,./internal/endpoint
 BENCH_COUNT    ?= 5
 # Time-based so sub-millisecond benchmarks average many iterations (one
 # 1x iteration of a microsecond benchmark is mostly timer noise) while the
@@ -43,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/rdf/    -run '^$$' -fuzz '^FuzzTurtle$$'   -fuzztime 10s
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzParse$$'    -fuzztime 10s
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime 10s
+	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzNormalizeQuery$$' -fuzztime 10s
 
 cover:
 	$(GO) test -cover ./...
@@ -76,17 +79,20 @@ lint:
 
 # The traffic-simulator smoke gate: every run checks the live-world
 # invariants (exit 1 on violation), and the op logs must be byte-identical
-# both across worker counts (seed 42) and across repeat runs (seed 7) —
-# the seed-reproducibility contract enforced on every PR. Each run covers
-# a scheduled NYTimes outage window with breaker recovery asserted.
+# across worker counts (seed 42), across repeat runs (seed 7), and with
+# the serving caches + admission controller on vs off (seed 42) — caches
+# must be answer- and log-invisible. Each run covers a scheduled NYTimes
+# outage window with breaker recovery asserted.
 sim-smoke:
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -quiet -oplog simlog_42_w4.log
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -quiet -oplog simlog_42_w1.log
 	cmp simlog_42_w4.log simlog_42_w1.log
+	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -cache -quiet -oplog simlog_42_cache.log
+	cmp simlog_42_w4.log simlog_42_cache.log
 	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_a.log
 	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_b.log
 	cmp simlog_7_a.log simlog_7_b.log
-	rm -f simlog_42_w4.log simlog_42_w1.log simlog_7_a.log simlog_7_b.log
+	rm -f simlog_42_w4.log simlog_42_w1.log simlog_42_cache.log simlog_7_a.log simlog_7_b.log
 
 # The nightly soak: a longer, larger-scale run with the default mid-run
 # outage window, writing the JSON report (alexbench-compatible), a

@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "concurrent read-op workers (0 = GOMAXPROCS); does not affect the op log")
 	scale := fs.Float64("scale", 0.25, "data-set scale (1.0 = the alexbench DBpedia/NYTimes scenario)")
 	sampleEvery := fs.Int("sample-every", 16, "shadow-check every Nth read op (0 disables)")
+	cache := fs.Bool("cache", false, "serve the endpoint through the query caches and admission controller; must not change the op log")
 	outageFrom := fs.Int("outage-from", -1, "round at which the NYTimes source goes down (-1 = auto when rounds >= 20)")
 	outageTo := fs.Int("outage-to", -1, "round at which the NYTimes source recovers (-1 = auto)")
 	maxGoroutines := fs.Int("max-goroutine-growth", 0, "goroutine growth bound over baseline (0 = default)")
@@ -103,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:            *workers,
 		Scale:              *scale,
 		SampleEvery:        *sampleEvery,
+		Cache:              *cache,
 		Outages:            outages,
 		MaxGoroutineGrowth: *maxGoroutines,
 		MaxHeapBytes:       *maxHeap,

@@ -24,13 +24,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"alex/internal/endpoint"
@@ -53,6 +57,14 @@ type options struct {
 	timeout   time.Duration
 	retries   int
 	partialOK bool
+
+	// Serving-at-load settings (internal/endpoint cache.go, admission.go).
+	preparedCache int
+	resultCache   int
+	maxConcurrent int
+	maxQueue      int
+	perClient     int
+	retryAfter    time.Duration
 }
 
 func main() {
@@ -64,6 +76,13 @@ func main() {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-source-call timeout for federated serving (0 disables)")
 	retries := fs.Int("retries", 2, "retries per failed source call for federated serving")
 	partialOK := fs.Bool("partial-ok", false, "federated serving tolerates unavailable sources (partial results)")
+	preparedCache := fs.Int("prepared-cache", 1024, "prepared-query LRU size in entries (0 disables)")
+	resultCache := fs.Int("result-cache", 256, "generation-invalidated result LRU size in entries (0 disables)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently executing requests (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "max requests queued for an execution slot; excess shed with 503")
+	perClient := fs.Int("per-client", 0, "max concurrent requests per client (0 = unlimited)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	_ = fs.Parse(os.Args[1:])
 	if len(dataFiles) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: sparqld -data <file.nt|file.ttl> [-data <file2>] [-links <file>] [-addr :8181]")
@@ -71,27 +90,68 @@ func main() {
 	}
 
 	handler, err := buildHandler(options{
-		dataFiles: dataFiles,
-		linksFile: *linksFile,
-		timeout:   *timeout,
-		retries:   *retries,
-		partialOK: *partialOK,
+		dataFiles:     dataFiles,
+		linksFile:     *linksFile,
+		timeout:       *timeout,
+		retries:       *retries,
+		partialOK:     *partialOK,
+		preparedCache: *preparedCache,
+		resultCache:   *resultCache,
+		maxConcurrent: *maxConcurrent,
+		maxQueue:      *maxQueue,
+		perClient:     *perClient,
+		retryAfter:    *retryAfter,
 	}, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "listening on %s (endpoint %s/sparql)\n", *addr, *addr)
+	shutdown := make(chan os.Signal, 1)
+	signal.Notify(shutdown, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() { <-shutdown; fmt.Fprintln(os.Stderr, "draining..."); close(stop) }()
+	if err := runServer(&http.Server{Handler: handler}, ln, stop, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "drained, bye")
+}
+
+// runServer serves on ln until stop is closed, then shuts down gracefully:
+// no new connections are accepted while in-flight requests get up to drain
+// to complete. Split from main so tests can drive the full lifecycle
+// in-process.
+func runServer(srv *http.Server, ln net.Listener, stop <-chan struct{}, drain time.Duration) error {
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		ctx := context.Background()
+		if drain > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, drain)
+			defer cancel()
+		}
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return <-done
 }
 
 // buildHandler loads the data and assembles the HTTP handler — everything
 // main does short of binding a socket, so tests can serve it with
-// httptest. Progress messages go to logw.
-func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
+// httptest. The query path runs behind the prepared-query and result
+// caches (sized by opts; zero disables), and the whole handler behind the
+// admission controller when any ingress limit is set. Progress messages
+// go to logw.
+func buildHandler(opts options, logw io.Writer) (http.Handler, error) {
 	dict := rdf.NewDict()
 	reg := obs.NewRegistry()
 	var stores []*store.Store
@@ -105,9 +165,13 @@ func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 		stores = append(stores, st)
 	}
 
+	cacheCfg := endpoint.CacheConfig{PreparedSize: opts.preparedCache, ResultSize: opts.resultCache}
 	var handler *endpoint.Handler
 	if len(stores) == 1 && opts.linksFile == "" {
-		handler = endpoint.NewHandler(stores[0])
+		st := stores[0]
+		cache := endpoint.NewQueryCache(cacheCfg, st.Generation)
+		cache.SetObserver(reg)
+		handler = endpoint.NewCachedHandler(st, cache)
 	} else {
 		federation := fed.New(dict, stores...)
 		if opts.linksFile != "" {
@@ -124,7 +188,9 @@ func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 		res.PartialResults = opts.partialOK
 		federation.SetResilience(res)
 		federation.SetObserver(reg)
-		handler = endpoint.NewQueryHandler(fed.EndpointQueryFunc(federation), func() map[string]any {
+		cache := endpoint.NewQueryCache(cacheCfg, federation.DataGeneration)
+		cache.SetObserver(reg)
+		handler = endpoint.NewQueryHandler(fed.CachedEndpointQueryFunc(federation, cache), func() map[string]any {
 			out := map[string]any{"sources": len(stores), "links": federation.Links().Len()}
 			for _, st := range stores {
 				out[st.Name()] = st.Len()
@@ -135,6 +201,16 @@ func buildHandler(opts options, logw io.Writer) (*endpoint.Handler, error) {
 		fmt.Fprintf(logw, "serving a federation of %d sources\n", len(stores))
 	}
 	handler.SetObserver(reg)
+	if opts.maxConcurrent > 0 || opts.maxQueue > 0 || opts.perClient > 0 {
+		adm := endpoint.NewAdmission(handler, endpoint.AdmissionConfig{
+			MaxConcurrent: opts.maxConcurrent,
+			MaxQueue:      opts.maxQueue,
+			PerClient:     opts.perClient,
+			RetryAfter:    opts.retryAfter,
+		})
+		adm.SetObserver(reg)
+		return adm, nil
+	}
 	return handler, nil
 }
 

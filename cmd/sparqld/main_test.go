@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func writeFixtures(t *testing.T, dir string) (dbp, nyt, links string) {
@@ -139,5 +142,221 @@ func TestBadQueryGets400(t *testing.T) {
 	defer srv.Close()
 	if code, _ := get(t, srv.URL+"/sparql?query=NOT+SPARQL"); code != http.StatusBadRequest {
 		t.Errorf("bad query = %d, want 400", code)
+	}
+}
+
+// slowQuery starts a POST whose body is an open pipe: the endpoint blocks
+// reading it, deterministically holding one admission slot (and one
+// in-flight request) until the returned finish func writes the query and
+// closes the body. done yields the final status code.
+func slowQuery(t *testing.T, baseURL string) (finish func(), done <-chan int) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/sparql", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	ch := make(chan int, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			ch <- -1
+			return
+		}
+		resp.Body.Close()
+		ch <- resp.StatusCode
+	}()
+	return func() {
+		io.WriteString(pw, "SELECT ?s WHERE { ?s ?p ?o }")
+		pw.Close()
+	}, ch
+}
+
+// TestSaturationSheds503 drives the -max-concurrent/-max-queue/-retry-after
+// path: with one slot, no queue, and an in-flight query pinned, further
+// requests are shed with 503 + Retry-After, and service resumes once the
+// pinned query completes.
+func TestSaturationSheds503(t *testing.T) {
+	dbp, _, _ := writeFixtures(t, t.TempDir())
+	h, err := buildHandler(options{
+		dataFiles:     []string{dbp},
+		maxConcurrent: 1,
+		retryAfter:    2 * time.Second,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	finish, done := slowQuery(t, srv.URL)
+	// The pinned query holds the only slot as soon as the server accepts
+	// it; until then concurrent GETs may still win the slot, so poll.
+	statsURL := srv.URL + "/stats"
+	var code int
+	var hdr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(statsURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		code, hdr = resp.StatusCode, resp.Header.Get("Retry-After")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server never shed load, last status %d", code)
+	}
+	if hdr != "2" {
+		t.Errorf("Retry-After = %q, want %q from -retry-after=2s", hdr, "2")
+	}
+
+	finish()
+	if got := <-done; got != http.StatusOK {
+		t.Fatalf("pinned query = %d, want 200", got)
+	}
+	// Capacity freed: requests flow again.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ = get(t, statsURL); code == http.StatusOK {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("server did not recover after the slot freed, last status %d", code)
+}
+
+// TestGracefulDrain runs the real serve loop: a query in flight when
+// shutdown begins completes with 200 while new connections are refused,
+// and runServer returns cleanly within the drain budget.
+func TestGracefulDrain(t *testing.T) {
+	dbp, _, _ := writeFixtures(t, t.TempDir())
+	h, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL := "http://" + ln.Addr().String()
+	// Wrap the handler to announce when the pinned POST is in flight, so
+	// shutdown provably begins while it executes (Shutdown would otherwise
+	// race the client's dial and refuse the connection outright).
+	entered := make(chan struct{})
+	var enteredOnce sync.Once
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			enteredOnce.Do(func() { close(entered) })
+		}
+		h.ServeHTTP(w, r)
+	})
+	stop := make(chan struct{})
+	served := make(chan error, 1)
+	go func() { served <- runServer(&http.Server{Handler: wrapped}, ln, stop, 10*time.Second) }()
+
+	// Confirm the server is up, then pin a query in flight.
+	if code, _ := get(t, baseURL+"/stats"); code != http.StatusOK {
+		t.Fatalf("/stats before drain = %d", code)
+	}
+	http.DefaultClient.CloseIdleConnections() // idle keep-alives would also be drained
+	finish, done := slowQuery(t, baseURL)
+	<-entered
+	close(stop)
+
+	// The listener closes promptly on shutdown; poll until new connections
+	// are refused while the pinned query is still in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(baseURL + "/stats"); err != nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("draining server still accepts new connections")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case code := <-done:
+		t.Fatalf("in-flight query finished early with %d — pipe trick broken", code)
+	default:
+	}
+
+	finish()
+	if code := <-done; code != http.StatusOK {
+		t.Errorf("in-flight query during drain = %d, want 200", code)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("runServer = %v, want nil after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("runServer did not return after the drain completed")
+	}
+}
+
+// TestMetricsExposeServingNames: with caches and admission enabled,
+// /metrics carries every serving-at-load series from the obs registry.
+func TestMetricsExposeServingNames(t *testing.T) {
+	dbp, _, _ := writeFixtures(t, t.TempDir())
+	h, err := buildHandler(options{
+		dataFiles:     []string{dbp},
+		preparedCache: 64,
+		resultCache:   64,
+		maxConcurrent: 8,
+		maxQueue:      8,
+		retryAfter:    time.Second,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// One repeated query so the hit counters are live, not just declared.
+	q := srv.URL + "/sparql?query=" + url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }")
+	for i := 0; i < 2; i++ {
+		if code, body := get(t, q); code != http.StatusOK {
+			t.Fatalf("query %d = %d: %s", i, code, body)
+		}
+	}
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"endpoint.prepared.hits", "endpoint.prepared.misses", "endpoint.prepared.evictions",
+		"endpoint.result.hits", "endpoint.result.misses", "endpoint.result.evictions",
+		"endpoint.result.invalidations",
+		"endpoint.admission.rejected", "endpoint.admission.queued",
+	} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Errorf("metrics missing counter %s", key)
+		}
+	}
+	for _, key := range []string{"endpoint.admission.active", "endpoint.admission.queue_depth"} {
+		if _, ok := snap.Gauges[key]; !ok {
+			t.Errorf("metrics missing gauge %s", key)
+		}
+	}
+	if snap.Counters["endpoint.prepared.hits"] == 0 {
+		t.Error("repeated query produced no prepared-cache hits")
+	}
+	if snap.Counters["endpoint.result.hits"] == 0 {
+		t.Error("repeated query produced no result-cache hits")
 	}
 }

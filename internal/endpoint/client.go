@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"alex/internal/rdf"
 	"alex/internal/sparql"
@@ -27,12 +28,27 @@ type Client struct {
 	countCache map[string]int
 }
 
+// pooledClient is the default HTTP client: a keep-alive connection pool
+// sized for sustained traffic against a handful of endpoints, instead of
+// http.DefaultClient's two idle connections per host (which forces a TCP
+// handshake on nearly every federated probe under concurrency). Shared by
+// every Client constructed with a nil httpClient, so connections to one
+// endpoint are reused across federation members.
+var pooledClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // NewClient returns a client named name for the endpoint at base (the URL
 // of the /sparql route, e.g. "http://host:8080/sparql"). A nil httpClient
-// uses http.DefaultClient.
+// uses a shared pooled keep-alive client (see pooledClient).
 func NewClient(name, base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = pooledClient
 	}
 	return &Client{
 		name:       name,

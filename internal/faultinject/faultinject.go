@@ -84,6 +84,18 @@ func Wrap(target Target, cfg Config) *Source {
 // immediately regardless of ErrorRate.
 func (s *Source) SetDown(down bool) { s.down.Store(down) }
 
+// Generation forwards the wrapped target's data-generation counter when it
+// has one (fed.GenerationSource), so cache invalidation sees through the
+// fault injector; outages and injected errors do not change the data, so
+// they do not affect it. Targets without the capability report 0 forever —
+// a constant contribution that never masks a real mutation.
+func (s *Source) Generation() uint64 {
+	if g, ok := s.inner.(interface{ Generation() uint64 }); ok {
+		return g.Generation()
+	}
+	return 0
+}
+
 // Down reports the hard-outage flag.
 func (s *Source) Down() bool { return s.down.Load() }
 

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"alex/internal/linkset"
@@ -46,6 +47,13 @@ type Federation struct {
 	reorder bool
 	// parallel is the worker count for bound joins; 1 disables parallelism.
 	parallel int
+
+	// Data-generation tracking (see DataGeneration). linksGen counts
+	// SetLinks calls; genSources holds the generation counters of every
+	// member source that exposes one. Both are written only during setup
+	// and link refresh, never during query evaluation.
+	linksGen   atomic.Uint64
+	genSources []func() uint64
 
 	// Fault tolerance (resilience.go). res holds the active policy, resOn
 	// caches whether any of it is enabled, breakers maps source name to
@@ -104,14 +112,43 @@ func New(dict *rdf.Dict, stores ...*store.Store) *Federation {
 	}
 	for _, st := range stores {
 		f.sources = append(f.sources, LocalSource(st))
+		f.genSources = append(f.genSources, st.Generation)
 	}
 	return f
+}
+
+// GenerationSource is the optional capability a Source may implement to
+// participate in DataGeneration: a counter that strictly increases on
+// every mutation of the source's data (store.Store.Generation is the
+// canonical implementation; wrappers should forward it).
+type GenerationSource interface {
+	Generation() uint64
+}
+
+// DataGeneration combines the link-set generation and the generation
+// counters of every member source that exposes one into a single value
+// that changes on any mutation of the federation's data: a store add or
+// retract, a bulk load, or a SetLinks swap. Each component is monotonic,
+// so the sum strictly increases on every mutation and never revisits a
+// value — result caches keyed on it (endpoint.NewQueryCache) can compare
+// for exact equality. Sources added without the GenerationSource
+// capability (e.g. remote endpoints) are invisible to this counter;
+// callers federating such sources should not enable result caching.
+func (f *Federation) DataGeneration() uint64 {
+	gen := f.linksGen.Load()
+	for _, g := range f.genSources {
+		gen += g()
+	}
+	return gen
 }
 
 // AddSource adds a member source (e.g. a remote endpoint) to the
 // federation.
 func (f *Federation) AddSource(src Source) {
 	f.sources = append(f.sources, src)
+	if g, ok := src.(GenerationSource); ok {
+		f.genSources = append(f.genSources, g.Generation)
+	}
 	if f.obsReg != nil {
 		f.sourceNS[src.Name()] = f.obsReg.Histogram(obs.FedSourceMatchNS(src.Name()))
 	}
@@ -166,6 +203,7 @@ func (f *Federation) Stores() []*store.Store { return f.stores }
 // set once; call SetLinks again after the candidate set changes to refresh
 // the equivalence index (ALEX does this after every episode).
 func (f *Federation) SetLinks(links *linkset.Set) {
+	f.linksGen.Add(1)
 	f.links = links
 	f.equiv = make(map[rdf.TermID][]equivEdge, links.Len()*2)
 	for _, l := range links.Links() {

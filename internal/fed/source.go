@@ -93,6 +93,10 @@ func (s localSource) Match(_ context.Context, tp sparql.TriplePattern, binding s
 
 func (s localSource) SubstDict() *rdf.Dict { return s.st.Dict() }
 
+// Generation exposes the backing store's mutation counter, making every
+// local source a GenerationSource for Federation.DataGeneration.
+func (s localSource) Generation() uint64 { return s.st.Generation() }
+
 func (s localSource) MatchSubst(_ context.Context, tp sparql.TriplePattern, binding sparql.Binding, sSubst, oSubst rdf.TermID) ([]sparql.Binding, error) {
 	return sparql.MatchPatternSubst(s.st, tp, binding, sSubst, oSubst), nil
 }
@@ -115,18 +119,44 @@ func EndpointQueryFunc(f *Federation) endpoint.QueryFunc {
 		if err != nil {
 			return nil, err
 		}
-		out := &endpoint.Result{Triples: res.Triples}
-		if q.Ask {
-			out.IsAsk = true
-			out.Boolean = res.AskResult()
-			return out, nil
-		}
-		out.Vars = res.Vars
-		for _, a := range res.Answers {
-			out.Rows = append(out.Rows, a.Binding)
-		}
-		return out, nil
+		return toEndpointResult(q, res), nil
 	}
+}
+
+// CachedEndpointQueryFunc is EndpointQueryFunc with a query cache in
+// front: prepared forms are reused across spellings of one query, and —
+// because cache is expected to be built over f.DataGeneration — whole
+// sameAs-expanded answer sets are served from the result cache until any
+// member store mutates or the link set is swapped. A nil cache degrades
+// to the uncached behaviour.
+func CachedEndpointQueryFunc(f *Federation, cache *endpoint.QueryCache) endpoint.QueryFunc {
+	return func(ctx context.Context, query string) (*endpoint.Result, error) {
+		return cache.Do(query, func(prep *sparql.Prepared) (*endpoint.Result, error) {
+			q := prep.Query()
+			res, err := f.EvalContext(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			return toEndpointResult(q, res), nil
+		})
+	}
+}
+
+// toEndpointResult converts a federated result to the endpoint's wire
+// shape. Link provenance is not representable in the SPARQL results
+// format and is dropped.
+func toEndpointResult(q *sparql.Query, res *Result) *endpoint.Result {
+	out := &endpoint.Result{Triples: res.Triples}
+	if q.Ask {
+		out.IsAsk = true
+		out.Boolean = res.AskResult()
+		return out
+	}
+	out.Vars = res.Vars
+	for _, a := range res.Answers {
+		out.Rows = append(out.Rows, a.Binding)
+	}
+	return out
 }
 
 // EndpointTraceFunc adapts the federation as an endpoint.TraceFunc, backing

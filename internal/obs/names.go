@@ -38,6 +38,42 @@ const (
 	EndpointRequestNS = "endpoint.request_ns"
 )
 
+// High-traffic serving layer (internal/endpoint cache.go, admission.go).
+const (
+	// EndpointPreparedHits counts queries answered with a cached
+	// parse+compile (prepared-query cache hits).
+	EndpointPreparedHits = "endpoint.prepared.hits"
+	// EndpointPreparedMisses counts queries that had to parse and
+	// slot-compile from scratch.
+	EndpointPreparedMisses = "endpoint.prepared.misses"
+	// EndpointPreparedEvictions counts prepared entries evicted by the LRU
+	// capacity bound.
+	EndpointPreparedEvictions = "endpoint.prepared.evictions"
+	// EndpointResultHits counts queries answered entirely from the result
+	// cache (no evaluation, no closure expansion).
+	EndpointResultHits = "endpoint.result.hits"
+	// EndpointResultMisses counts result-cache lookups that evaluated.
+	EndpointResultMisses = "endpoint.result.misses"
+	// EndpointResultEvictions counts result entries evicted by the LRU
+	// capacity bound.
+	EndpointResultEvictions = "endpoint.result.evictions"
+	// EndpointResultInvalidations counts cached results dropped because
+	// the store generation moved underneath them.
+	EndpointResultInvalidations = "endpoint.result.invalidations"
+	// EndpointAdmissionRejected counts requests shed with 503 +
+	// Retry-After (queue full or per-client limit exceeded).
+	EndpointAdmissionRejected = "endpoint.admission.rejected"
+	// EndpointAdmissionQueued counts requests that waited in the
+	// admission queue before executing.
+	EndpointAdmissionQueued = "endpoint.admission.queued"
+	// EndpointAdmissionActive gauges requests currently executing under
+	// the admission controller.
+	EndpointAdmissionActive = "endpoint.admission.active"
+	// EndpointAdmissionQueueDepth gauges requests currently waiting for
+	// an execution slot.
+	EndpointAdmissionQueueDepth = "endpoint.admission.queue_depth"
+)
+
 // Single-store SPARQL engine (internal/sparql).
 const (
 	// SparqlPlanReorders counts BGPs whose pattern order the selectivity
@@ -106,7 +142,7 @@ const (
 
 // SimOpNS names the per-operation-kind latency histogram of the traffic
 // simulator (kinds: select_entity, ask_entity, fed_join, fed_ask,
-// feedback, bulk_load, outage_toggle).
+// repeat_query, mutate_reread, feedback, bulk_load, outage_toggle).
 func SimOpNS(kind string) string { return "sim.op." + kind + ".ns" }
 
 // FedSourceMatchNS names the per-source match-latency histogram.
@@ -152,8 +188,19 @@ func MetricNames() []string {
 		CorePickExplore,
 		CorePickGreedy,
 		CoreRollbacks,
+		EndpointAdmissionActive,
+		EndpointAdmissionQueueDepth,
+		EndpointAdmissionQueued,
+		EndpointAdmissionRejected,
+		EndpointPreparedEvictions,
+		EndpointPreparedHits,
+		EndpointPreparedMisses,
 		EndpointRequestNS,
 		EndpointRequests,
+		EndpointResultEvictions,
+		EndpointResultHits,
+		EndpointResultInvalidations,
+		EndpointResultMisses,
 		FedBoundJoinBatches,
 		FedBoundJoinRows,
 		FedBreakerOpens,

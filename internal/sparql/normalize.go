@@ -1,0 +1,100 @@
+package sparql
+
+import "strings"
+
+// NormalizeQuery renders a query's token stream into a canonical string,
+// the cache key of the endpoint's prepared-query cache: two queries that
+// differ only in whitespace, comments, keyword case, string-escape
+// spelling or ?/$ variable sigils normalize to the same key and therefore
+// share one compiled entry. Normalization is purely lexical — token order
+// and token values are preserved — so the normalized text parses to the
+// same algebra as the input, and the function is idempotent (normalizing
+// a normalized query is the identity). Inputs that fail to tokenize
+// return the lexer's error; the parser would reject them identically, so
+// callers can serve that error without a cache entry.
+func NormalizeQuery(query string) (string, error) {
+	l := &lexer{in: query}
+	var b strings.Builder
+	b.Grow(len(query))
+	first := true
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return "", err
+		}
+		if tok.kind == tokEOF {
+			break
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		writeNormalToken(&b, tok)
+	}
+	return b.String(), nil
+}
+
+// writeNormalToken renders one token in its canonical spelling. Idents are
+// uppercased — the grammar treats every bare identifier (keywords, builtin
+// functions, aggregate names) case-insensitively — and strings are
+// re-escaped from their decoded value, collapsing alternative escape
+// spellings of the same literal.
+func writeNormalToken(b *strings.Builder, tok token) {
+	switch tok.kind {
+	case tokIdent:
+		writeASCIIUpper(b, tok.text)
+	case tokVar:
+		b.WriteByte('?')
+		b.WriteString(tok.text)
+	case tokIRI:
+		b.WriteByte('<')
+		b.WriteString(tok.text)
+		b.WriteByte('>')
+	case tokString:
+		writeEscapedString(b, tok.text)
+	case tokLangTag:
+		b.WriteByte('@')
+		b.WriteString(tok.text)
+	default:
+		// Punctuation, operators, numbers, prefixed names and 'a' are
+		// already canonical in their lexed text.
+		b.WriteString(tok.text)
+	}
+}
+
+// writeASCIIUpper uppercases only ASCII letters. Keywords and builtin
+// function names are pure ASCII; other bytes pass through untouched so
+// the rendering round-trips byte-for-byte through the byte-oriented lexer
+// (strings.ToUpper would rewrite invalid UTF-8 to U+FFFD and break that).
+func writeASCIIUpper(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+}
+
+// writeEscapedString quotes s using the lexer's escape set, so the output
+// re-lexes to exactly s.
+func writeEscapedString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}

@@ -38,8 +38,12 @@ func EvalSlots(st *store.Store, q *Query) (*SlotResult, error) {
 
 // EvalSlotsTrace is EvalSlots with span recording and options.
 func EvalSlotsTrace(st *store.Store, q *Query, tr *obs.Trace, opts EvalOptions) (*SlotResult, error) {
-	p := compileSlots(st, q, opts)
-	reg := st.Registry()
+	return compileSlots(st, q, opts).run(q, tr)
+}
+
+// run executes one evaluation of q through a bound slot program.
+func (p *slotProg) run(q *Query, tr *obs.Trace) (*SlotResult, error) {
+	reg := p.st.Registry()
 	p.reorders = reg.Counter(obs.SparqlPlanReorders)
 	p.reg = reg
 	sp := tr.Root()

@@ -124,22 +124,43 @@ type slotProg struct {
 
 func (p *slotProg) width() int { return len(p.vars) }
 
-// compileSlots assigns a dense slot index to every variable the query's
+// SlotLayout is the store-independent half of slot compilation: the dense
+// variable -> slot mapping of one parsed query. A layout is immutable
+// after CompileLayout, so a prepared query can share its layout across
+// concurrent evaluations against any store — only the id space and row
+// sets are per-evaluation.
+type SlotLayout struct {
+	vars  []string
+	slots map[string]int
+}
+
+// compileSlots compiles a fresh layout and binds it to a store.
+func compileSlots(st *store.Store, q *Query, opts EvalOptions) *slotProg {
+	return newSlotProg(st, CompileLayout(q), opts)
+}
+
+// newSlotProg binds a compiled layout to one store for one evaluation.
+func newSlotProg(st *store.Store, lay *SlotLayout, opts EvalOptions) *slotProg {
+	return &slotProg{
+		st:    st,
+		ids:   newIDSpace(st.Dict()),
+		vars:  lay.vars,
+		slots: lay.slots,
+		opts:  opts,
+	}
+}
+
+// CompileLayout assigns a dense slot index to every variable the query's
 // patterns can bind. Variables that appear only in projections, ORDER BY,
 // GROUP BY or expressions (never bound by a pattern) need no slot: a
 // missing slot reads as unbound everywhere, matching the map engine's
 // missing-key semantics.
-func compileSlots(st *store.Store, q *Query, opts EvalOptions) *slotProg {
-	p := &slotProg{
-		st:    st,
-		ids:   newIDSpace(st.Dict()),
-		slots: map[string]int{},
-		opts:  opts,
-	}
+func CompileLayout(q *Query) *SlotLayout {
+	lay := &SlotLayout{slots: map[string]int{}}
 	addVar := func(v string) {
-		if _, ok := p.slots[v]; !ok {
-			p.slots[v] = len(p.vars)
-			p.vars = append(p.vars, v)
+		if _, ok := lay.slots[v]; !ok {
+			lay.slots[v] = len(lay.vars)
+			lay.vars = append(lay.vars, v)
 		}
 	}
 	var walk func(ps []Pattern)
@@ -175,7 +196,7 @@ func compileSlots(st *store.Store, q *Query, opts EvalOptions) *slotProg {
 		}
 	}
 	walk(q.Patterns)
-	return p
+	return lay
 }
 
 // slot returns the slot index of a variable, or -1 when the query's

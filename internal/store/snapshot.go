@@ -21,9 +21,12 @@ type snapshot struct {
 // snapshot is self-contained: it embeds term values, not dictionary ids.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	s.mu.RLock()
-	snap := snapshot{Name: s.name, Triples: make([]rdf.Triple, len(s.triples))}
-	for i, t := range s.triples {
-		snap.Triples[i] = s.dict.Materialize(t)
+	snap := snapshot{Name: s.name, Triples: make([]rdf.Triple, 0, len(s.present))}
+	for _, t := range s.triples {
+		if t == (rdf.TripleID{}) {
+			continue // retraction tombstone
+		}
+		snap.Triples = append(snap.Triples, s.dict.Materialize(t))
 	}
 	s.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {

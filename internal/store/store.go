@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"alex/internal/obs"
 	"alex/internal/rdf"
@@ -68,6 +69,26 @@ func (ix *tripleIndex) add(id rdf.TermID, pos int32) {
 	st.mu.Unlock()
 }
 
+// remove deletes pos from id's posting list, dropping the key entirely
+// when the list empties so keyCount/keys stay exact after retraction.
+func (ix *tripleIndex) remove(id rdf.TermID, pos int32) {
+	st := ix.stripe(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	list := st.m[id]
+	for i, p := range list {
+		if p == pos {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(st.m, id)
+		return
+	}
+	st.m[id] = list
+}
+
 // get returns id's posting list. Callers hold Store.mu (read or write),
 // which excludes the bulk writers, so no stripe lock is needed.
 func (ix *tripleIndex) get(id rdf.TermID) []int32 { return ix.stripe(id).m[id] }
@@ -100,14 +121,25 @@ type Store struct {
 	name string
 	dict *rdf.Dict
 
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// triples is the insertion-ordered log; retraction overwrites a slot
+	// with the zero TripleID tombstone (no real triple is all-zero: dict
+	// ids start at 1), which index reads never see (their positions are
+	// removed) and full scans skip.
 	triples []rdf.TripleID
-	present map[rdf.TripleID]struct{}
+	// present maps each live triple to its position in triples.
+	present map[rdf.TripleID]int32
 	ixSubj  *tripleIndex
 	ixPred  *tripleIndex
 	ixObj   *tripleIndex
 	// subjects in insertion order, for deterministic iteration
 	subjects []rdf.TermID
+
+	// gen counts mutations: it increments exactly once per mutating call
+	// that changed the store (Add/AddID, an AddIDs or Load batch that
+	// added at least one triple, a successful retract). Result caches key
+	// on it to detect any intervening change.
+	gen atomic.Uint64
 
 	// Observability instruments, pre-resolved by SetObserver. All are
 	// nil-safe no-ops when unset (the disabled state costs one branch in
@@ -130,7 +162,7 @@ func New(name string, dict *rdf.Dict) *Store {
 	return &Store{
 		name:    name,
 		dict:    dict,
-		present: make(map[rdf.TripleID]struct{}),
+		present: make(map[rdf.TripleID]int32),
 		ixSubj:  newTripleIndex(),
 		ixPred:  newTripleIndex(),
 		ixObj:   newTripleIndex(),
@@ -180,16 +212,71 @@ func (s *Store) AddID(t rdf.TripleID) bool {
 	}
 	pos := int32(len(s.triples))
 	s.triples = append(s.triples, t)
-	s.present[t] = struct{}{}
+	s.present[t] = pos
 	if s.ixSubj.get(t.S) == nil {
 		s.subjects = append(s.subjects, t.S)
 	}
 	s.ixSubj.add(t.S, pos)
 	s.ixPred.add(t.P, pos)
 	s.ixObj.add(t.O, pos)
-	s.triplesOut.Set(int64(len(s.triples)))
+	s.gen.Add(1)
+	s.triplesOut.Set(int64(len(s.present)))
 	return true
 }
+
+// Retract interns nothing: it removes the triple if present, reporting
+// whether it was. Terms absent from the dictionary cannot be stored.
+func (s *Store) Retract(t rdf.Triple) bool {
+	sID, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	pID, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oID, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	return s.RetractID(rdf.TripleID{S: sID, P: pID, O: oID})
+}
+
+// RetractID removes a pre-interned triple, reporting whether it was
+// present. The triple's log slot becomes a tombstone and its positions
+// leave all three indexes, so subsequent reads (indexed or full-scan)
+// never see it. A successful retract bumps the generation exactly once.
+func (s *Store) RetractID(t rdf.TripleID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pos, ok := s.present[t]
+	if !ok {
+		return false
+	}
+	delete(s.present, t)
+	s.triples[pos] = rdf.TripleID{}
+	s.ixSubj.remove(t.S, pos)
+	s.ixPred.remove(t.P, pos)
+	s.ixObj.remove(t.O, pos)
+	// Drop the subject from the first-sight list when its last triple
+	// goes, so a later re-add records it exactly once.
+	if s.ixSubj.get(t.S) == nil {
+		for i, subj := range s.subjects {
+			if subj == t.S {
+				s.subjects = append(s.subjects[:i], s.subjects[i+1:]...)
+				break
+			}
+		}
+	}
+	s.gen.Add(1)
+	s.triplesOut.Set(int64(len(s.present)))
+	return true
+}
+
+// Generation returns the monotonic mutation counter: it increments exactly
+// once per mutating call that changed the store, so a cached result tagged
+// with a generation is valid iff the generation is unchanged.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
 
 // bulkIndexThreshold is the batch size below which AddIDs populates the
 // indexes serially — goroutine fan-out costs more than it saves on small
@@ -212,7 +299,7 @@ func (s *Store) AddIDs(ids []rdf.TripleID) int {
 		if _, dup := s.present[t]; dup {
 			continue
 		}
-		s.present[t] = struct{}{}
+		s.present[t] = int32(len(s.triples))
 		s.triples = append(s.triples, t)
 	}
 	added := s.triples[base:]
@@ -273,15 +360,16 @@ func (s *Store) AddIDs(ids []rdf.TripleID) int {
 		}
 		wg.Wait()
 	}
-	s.triplesOut.Set(int64(len(s.triples)))
+	s.gen.Add(1)
+	s.triplesOut.Set(int64(len(s.present)))
 	return len(added)
 }
 
-// Len returns the number of triples.
+// Len returns the number of live triples.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.triples)
+	return len(s.present)
 }
 
 // Contains reports whether the exact triple is present.
@@ -322,8 +410,13 @@ func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
 		candidates = s.ixPred.get(pred)
 	default:
 		s.probeScan.Inc()
-		out := make([]rdf.TripleID, len(s.triples))
-		copy(out, s.triples)
+		out := make([]rdf.TripleID, 0, len(s.present))
+		for _, t := range s.triples {
+			if t == (rdf.TripleID{}) {
+				continue // retraction tombstone
+			}
+			out = append(out, t)
+		}
 		s.matchRows.Add(int64(len(out)))
 		return out
 	}
@@ -451,9 +544,12 @@ func (s *Store) MatchEach(subj, pred, obj rdf.TermID, fn func(rdf.TripleID)) {
 	default:
 		s.probeScan.Inc()
 		for _, t := range s.triples {
+			if t == (rdf.TripleID{}) {
+				continue // retraction tombstone
+			}
 			fn(t)
 		}
-		s.matchRows.Add(int64(len(s.triples)))
+		s.matchRows.Add(int64(len(s.present)))
 		return
 	}
 	n := int64(0)
@@ -521,7 +617,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.RUnlock()
 	return Stats{
 		Name:       s.name,
-		Triples:    len(s.triples),
+		Triples:    len(s.present),
 		Subjects:   len(s.subjects),
 		Predicates: s.ixPred.keyCount(),
 	}
@@ -533,11 +629,18 @@ func (st Stats) String() string {
 		st.Name, st.Triples, st.Subjects, st.Predicates)
 }
 
-// Load reads every triple from triples into the store.
+// Load reads every triple from triples into the store as one batch, so
+// the whole load bumps the generation exactly once.
 func (s *Store) Load(triples []rdf.Triple) {
-	for _, t := range triples {
-		s.Add(t)
+	ids := make([]rdf.TripleID, len(triples))
+	for i, t := range triples {
+		ids[i] = rdf.TripleID{
+			S: s.dict.Intern(t.S),
+			P: s.dict.Intern(t.P),
+			O: s.dict.Intern(t.O),
+		}
 	}
+	s.AddIDs(ids)
 }
 
 // Functionality returns the functionality of a predicate: the ratio of

@@ -142,6 +142,15 @@ func (h *harness) finish(ctx context.Context) {
 	} else {
 		h.logf("inv drain_clean ok")
 	}
+	// Offered concurrency never exceeds the worker bound, which the
+	// admission controller's capacity sits above, so a correct controller
+	// sheds nothing. Like checkResources, a passing check logs nothing:
+	// the op log stays byte-identical with Config.Cache on or off.
+	if h.w.admission != nil {
+		if n := h.w.admission.Rejected(); n != 0 {
+			h.violate("admission_no_shed", fmt.Sprintf("admission shed %d requests below configured capacity", n))
+		}
+	}
 	want := h.w.httpOps.Load()
 	if got := h.w.server.Served(); got != want {
 		h.violate("http_accounting", fmt.Sprintf("endpoint served %d requests, ops issued %d", got, want))

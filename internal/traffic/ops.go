@@ -26,6 +26,8 @@ var opFuncs = map[string]func(ctx context.Context, w *world, rng *rand.Rand) (st
 	OpFedAsk:       opFedAsk,
 	OpFeedback:     opFeedback,
 	OpBulkLoad:     opBulkLoad,
+	OpRepeatQuery:  opRepeatQuery,
+	OpMutateReread: opMutateReread,
 }
 
 // opSelectEntity fetches one DS1 entity's attributes over the SPARQL
@@ -160,6 +162,61 @@ func opBulkLoad(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
 		return fmt.Sprintf("entities=%d", entities), fmt.Errorf("bulk_load: %w", err)
 	}
 	return fmt.Sprintf("entities=%d triples=%d total=%d", entities, n, w.aux.Len()), nil
+}
+
+// opRepeatQuery re-issues one of the fixed hot queries over the endpoint.
+// The pool is small by design: under Config.Cache most executions are
+// result-cache hits, and the digest in the log proves a hit serves exactly
+// the answer a cold evaluation would (the log is byte-identical with
+// caching off).
+func opRepeatQuery(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	qi := rng.Intn(len(w.hotQueries))
+	w.httpOps.Add(1)
+	res, err := w.client.QueryContext(ctx, w.hotQueries[qi])
+	if err != nil {
+		return fmt.Sprintf("q=%d", qi), fmt.Errorf("repeat_query: %w", err)
+	}
+	return fmt.Sprintf("q=%d rows=%d digest=%016x", qi, len(res.Rows), digestBindings(res.Rows)), nil
+}
+
+// opMutateReread writes fresh triples into DS1 — the endpoint's own store,
+// bumping its generation — and immediately reads them back over HTTP. The
+// read-back must see the write (seen=true): a result cache that failed to
+// invalidate on the generation bump would serve the stale pre-write answer,
+// which the harness flags as a cache_coherence violation. The op is a
+// serial barrier, so the subject cursor and every later read are
+// deterministic.
+func opMutateReread(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("mutate_reread: %w", err)
+	}
+	id := w.ds1Seq
+	w.ds1Seq++
+	subj := fmt.Sprintf("<http://alexsim.invalid/ds1/e%d>", id)
+	// Warm the cache entry for this subject before the write, so under
+	// Config.Cache the read-back below genuinely exercises invalidation
+	// rather than a cold miss.
+	warmQ := fmt.Sprintf("SELECT ?p ?o WHERE { %s ?p ?o }", subj)
+	w.httpOps.Add(1)
+	warm, err := w.client.QueryContext(ctx, warmQ)
+	if err != nil {
+		return fmt.Sprintf("id=%d", id), fmt.Errorf("mutate_reread: %w", err)
+	}
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		w.ds1.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://alexsim.invalid/ds1/e%d", id)),
+			P: rdf.NewIRI(fmt.Sprintf("http://alexsim.invalid/ds1/p%d", i)),
+			O: rdf.NewString(fmt.Sprintf("v%d-%d", id, i)),
+		})
+	}
+	w.httpOps.Add(1)
+	res, err := w.client.QueryContext(ctx, warmQ)
+	if err != nil {
+		return fmt.Sprintf("id=%d", id), fmt.Errorf("mutate_reread: %w", err)
+	}
+	return fmt.Sprintf("id=%d pre=%d wrote=%d rows=%d seen=%t",
+		id, len(warm.Rows), n, len(res.Rows), len(res.Rows) == n), nil
 }
 
 // skippedSuffix renders a partial result's skipped member names (sorted;

@@ -46,18 +46,28 @@ const (
 	OpFeedback     = "feedback"
 	OpBulkLoad     = "bulk_load"
 	OpOutageToggle = "outage_toggle"
+	// OpRepeatQuery re-issues queries from a small fixed pool against the
+	// endpoint, so with Config.Cache the result cache sees repeat traffic.
+	OpRepeatQuery = "repeat_query"
+	// OpMutateReread adds fresh DS1 triples and immediately re-reads them
+	// over HTTP — the cache-coherence probe: a stale cached answer after
+	// the mutation (a generation-invalidation bug) is an invariant
+	// violation.
+	OpMutateReread = "mutate_reread"
 )
 
 // DefaultWeights is the standard operation mix: read-heavy, with enough
 // feedback to move the engine and enough churn to exercise recovery.
 func DefaultWeights() map[string]int {
 	return map[string]int{
-		OpSelectEntity: 30,
-		OpAskEntity:    14,
-		OpFedJoin:      22,
+		OpSelectEntity: 26,
+		OpAskEntity:    12,
+		OpFedJoin:      20,
 		OpFedAsk:       10,
-		OpFeedback:     12,
+		OpRepeatQuery:  12,
+		OpFeedback:     10,
 		OpBulkLoad:     6,
+		OpMutateReread: 4,
 		OpOutageToggle: 4,
 	}
 }
@@ -94,6 +104,13 @@ type Config struct {
 	MaxGoroutineGrowth int
 	// MaxHeapBytes bounds HeapAlloc at round boundaries. 0 means 1 GiB.
 	MaxHeapBytes uint64
+	// Cache serves the endpoint through the prepared-query and result
+	// caches behind an admission controller sized above the worker count.
+	// Caching is answer-invisible by contract, so the op log of a run is
+	// byte-identical with Cache on or off (the header does not record it);
+	// only metrics and the admission/cache-coherence invariants differ in
+	// what they can observe.
+	Cache bool
 	// Now supplies wall-clock readings for latency metrics only; control
 	// flow never depends on it. nil reports zero durations (clock-free).
 	Now func() time.Time
@@ -170,6 +187,8 @@ var opKinds = map[string]bool{
 	OpFeedback:     true,
 	OpBulkLoad:     true,
 	OpOutageToggle: true,
+	OpRepeatQuery:  true,
+	OpMutateReread: true,
 }
 
 // readOnlyKinds may execute concurrently within a batch; everything else
@@ -179,6 +198,7 @@ var readOnlyKinds = map[string]bool{
 	OpAskEntity:    true,
 	OpFedJoin:      true,
 	OpFedAsk:       true,
+	OpRepeatQuery:  true,
 }
 
 // schedOp is one pre-scheduled operation: its global sequence number, its
@@ -470,6 +490,9 @@ func (h *harness) flush(op schedOp, out opOutcome) {
 	h.logf("op %d %s %s%s", op.seq, op.kind, out.detail, suffix)
 	if out.panicked {
 		h.violate("no_panic", fmt.Sprintf("op %d %s panicked: %s", op.seq, op.kind, out.detail))
+	}
+	if op.kind == OpMutateReread && strings.Contains(out.detail, "seen=false") {
+		h.violate("cache_coherence", fmt.Sprintf("op %d: mutation not visible to the endpoint read-back: %s", op.seq, out.detail))
 	}
 	if op.kind == OpFedJoin || op.kind == OpFedAsk {
 		for name := range h.downSources {

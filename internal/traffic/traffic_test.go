@@ -75,6 +75,68 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunCacheTransparent is the serving-layer soundness contract: with
+// the endpoint behind the prepared-query/result caches and the admission
+// controller (Config.Cache), the op log — every row count and result
+// digest included — must be byte-identical to the uncached run of the
+// same seed, at any worker count, with zero violations (in particular no
+// cache_coherence violation from mutate_reread's read-backs and no
+// admission_no_shed violation from the controller).
+func TestRunCacheTransparent(t *testing.T) {
+	var logOff, logOn, logOn1 bytes.Buffer
+	repOff := mustRun(t, testConfig(42, 4, &logOff))
+	cfgOn := testConfig(42, 4, &logOn)
+	cfgOn.Cache = true
+	repOn := mustRun(t, cfgOn)
+	cfgOn1 := testConfig(42, 1, &logOn1)
+	cfgOn1.Cache = true
+	repOn1 := mustRun(t, cfgOn1)
+	if len(repOff.Sim.Violations) != 0 || len(repOn.Sim.Violations) != 0 || len(repOn1.Sim.Violations) != 0 {
+		t.Fatalf("violations: off=%v on=%v on-w1=%v",
+			repOff.Sim.Violations, repOn.Sim.Violations, repOn1.Sim.Violations)
+	}
+	if !bytes.Equal(logOff.Bytes(), logOn.Bytes()) {
+		t.Errorf("cache on/off logs differ at %s", firstDiff(logOff.String(), logOn.String()))
+	}
+	if !bytes.Equal(logOn.Bytes(), logOn1.Bytes()) {
+		t.Errorf("cached logs differ across workers at %s", firstDiff(logOn.String(), logOn1.String()))
+	}
+	// The cached run must actually have exercised the cache: the hot-query
+	// pool guarantees repeats, so at least one result-cache hit.
+	hits := cfgOn.Obs.Counter(obs.EndpointResultHits).Value()
+	if hits == 0 {
+		t.Error("cached run recorded no result-cache hits")
+	}
+	if cfgOn.Obs.Counter(obs.EndpointPreparedHits).Value() == 0 {
+		t.Error("cached run recorded no prepared-cache hits")
+	}
+}
+
+// TestMutateRereadCoherence pins the cache-coherence probe itself: a run
+// weighted toward mutate_reread and repeat_query completes clean with the
+// cache on, and its log carries seen=true read-backs.
+func TestMutateRereadCoherence(t *testing.T) {
+	var log bytes.Buffer
+	cfg := testConfig(9, 4, &log)
+	cfg.Cache = true
+	cfg.Weights = map[string]int{
+		OpRepeatQuery:  40,
+		OpMutateReread: 30,
+		OpSelectEntity: 20,
+	}
+	rep := mustRun(t, cfg)
+	if n := len(rep.Sim.Violations); n != 0 {
+		t.Fatalf("violations = %d:\n%v", n, rep.Sim.Violations)
+	}
+	text := log.String()
+	if !strings.Contains(text, "mutate_reread") || !strings.Contains(text, "seen=true") {
+		t.Error("op log missing mutate_reread read-backs")
+	}
+	if strings.Contains(text, "seen=false") {
+		t.Error("op log contains a stale read-back")
+	}
+}
+
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := range al {

@@ -40,27 +40,31 @@ type world struct {
 	truth  *linkset.Set
 	engine *core.Engine
 
-	server *endpoint.Server
-	client *endpoint.Client
-	httpTr *http.Transport
-	fedn   *fed.Federation
-	flaky  map[string]*faultinject.Source
+	server    *endpoint.Server
+	client    *endpoint.Client
+	httpTr    *http.Transport
+	fedn      *fed.Federation
+	flaky     map[string]*faultinject.Source
+	admission *endpoint.Admission // nil unless cfg.Cache
 
 	// subjects1/subjects2 are the entity samples ops draw from; preds1 the
-	// DS1 predicates for bound-predicate federated lookups. All fixed at
-	// build time.
-	subjects1 []rdf.TermID
-	subjects2 []rdf.TermID
-	preds1    []rdf.TermID
+	// DS1 predicates for bound-predicate federated lookups; hotQueries the
+	// fixed pool repeat_query draws from (repeats are what give the result
+	// cache its hits). All fixed at build time.
+	subjects1  []rdf.TermID
+	subjects2  []rdf.TermID
+	preds1     []rdf.TermID
+	hotQueries []string
 
 	// httpOps counts SPARQL protocol requests issued by operations
 	// (including shadow re-executions); reconciled against the server's
 	// own served counter at the end of the run.
 	httpOps atomic.Int64
 
-	// Serial-op state: the bulk_load entity cursor and judged-link ledger
-	// (mutated only between batches).
+	// Serial-op state: the bulk_load and mutate_reread entity cursors and
+	// the judged-link ledger (mutated only between batches).
 	auxSeq    int
+	ds1Seq    int
 	episodes  int
 	judged    map[linkset.Link]bool
 	confirmed []linkset.Link
@@ -92,6 +96,15 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 	if len(w.subjects1) == 0 || len(w.subjects2) == 0 {
 		return nil, fmt.Errorf("traffic: generated pair is empty at scale %g", cfg.Scale)
 	}
+	hot := 8
+	if hot > len(w.subjects1) {
+		hot = len(w.subjects1)
+	}
+	for i := 0; i < hot; i++ {
+		subj := w.subjects1[i*len(w.subjects1)/hot]
+		w.hotQueries = append(w.hotQueries,
+			fmt.Sprintf("SELECT ?p ?o WHERE { %s ?p ?o }", pair.Dict.Term(subj).String()))
+	}
 
 	ecfg := core.Defaults()
 	ecfg.Seed = cfg.Seed
@@ -103,9 +116,28 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 	w.engine.SetObserver(cfg.Obs)
 	w.engine.SetInitialLinks(initialLinks(pair, cfg.Seed))
 
-	handler := endpoint.NewHandler(pair.DS1)
-	handler.SetObserver(cfg.Obs)
-	w.server = endpoint.NewServer(handler)
+	var served http.Handler
+	if cfg.Cache {
+		cache := endpoint.NewQueryCache(endpoint.DefaultCacheConfig(), pair.DS1.Generation)
+		cache.SetObserver(cfg.Obs)
+		handler := endpoint.NewCachedHandler(pair.DS1, cache)
+		handler.SetObserver(cfg.Obs)
+		// Admission capacity sits above the worker bound, so a correct
+		// controller never sheds simulator traffic — asserted at the end
+		// of the run (zero rejections).
+		w.admission = endpoint.NewAdmission(handler, endpoint.AdmissionConfig{
+			MaxConcurrent: cfg.Workers + 2,
+			MaxQueue:      2 * cfg.Workers,
+			RetryAfter:    time.Second,
+		})
+		w.admission.SetObserver(cfg.Obs)
+		served = w.admission
+	} else {
+		handler := endpoint.NewHandler(pair.DS1)
+		handler.SetObserver(cfg.Obs)
+		served = handler
+	}
+	w.server = endpoint.NewServer(served)
 	if err := w.server.Start(); err != nil {
 		return nil, fmt.Errorf("traffic: start endpoint: %w", err)
 	}
