@@ -48,10 +48,66 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
 	}
-	for _, name := range []string{"obsnames", "ctxflow", "nodeterminism", "errwrap", "nopanic"} {
+	for _, name := range []string{"obsnames", "ctxflow", "nodeterminism", "errwrap", "nopanic", "lockdiscipline", "genbump"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestAnalyzerSubset runs a two-analyzer subset in process: the subset
+// must load, run only the named analyzers, and stay clean on the repo.
+func TestAnalyzerSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "lockdiscipline,genbump", repoRoot}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit %d for -analyzers lockdiscipline,genbump, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("diagnostics from subset on a clean repo:\n%s", stdout.String())
+	}
+}
+
+// TestGraphMode prints the call-graph neighborhood of a store entry point
+// and checks the edges the interprocedural analyzers depend on are
+// resolved and rendered with kind + position.
+func TestGraphMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-graph", "store.(*Store).AddID", repoRoot}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"store.(*Store).AddID (store.go:",
+		"static",
+		"store.(*tripleIndex).add",
+		"atomic.(*Uint64).Add",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-graph output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGraphModeUnknownFunction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-graph", "NoSuchFunctionAnywhere", repoRoot}, &stdout, &stderr)
+	if code != 2 {
+		t.Errorf("exit %d for unknown -graph function, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no module function matching") {
+		t.Errorf("stderr missing explanation: %s", stderr.String())
 	}
 }
 

@@ -239,7 +239,7 @@ func (e *Engine) traceEpisode() (*obs.Trace, time.Time) {
 	if e.obsReg == nil {
 		return nil, time.Time{}
 	}
-	return obs.NewTrace(fmt.Sprintf("episode-%d", e.episode)), time.Now()
+	return obs.NewTrace(fmt.Sprintf("episode-%d", e.episode)), time.Now() //lint:ignore nodeterminism episode trace timing only; never feeds episode results
 }
 
 // finishEpisodeObs aggregates stats and closes out the episode trace.
@@ -247,7 +247,7 @@ func (e *Engine) finishEpisodeObs(tr *obs.Trace, t0 time.Time) EpisodeStats {
 	st := e.collectStats()
 	e.gCandidates.Set(int64(st.Candidates))
 	if e.obsReg != nil {
-		e.hEpisodeNS.Observe(time.Since(t0).Nanoseconds())
+		e.hEpisodeNS.Observe(time.Since(t0).Nanoseconds()) //lint:ignore nodeterminism episode latency histogram only; never feeds episode results
 		root := tr.Root()
 		root.SetInt("feedback", int64(st.Feedback))
 		root.SetInt("positive", int64(st.Positive))

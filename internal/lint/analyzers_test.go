@@ -127,6 +127,25 @@ func TestNoDeterminism(t *testing.T) {
 	runFixture(t, "nodeterminism", &NoDeterminism{Packages: []string{"fix/det", "fix/traffic"}})
 }
 
+func TestNoDeterminismTransitive(t *testing.T) {
+	runFixture(t, "ndtrans", &NoDeterminism{
+		Packages: []string{"fix/det"},
+		Exempt:   []string{"fix/obs"},
+	})
+}
+
+func TestCtxFlowTransitive(t *testing.T) {
+	runFixture(t, "ctxtrans", &CtxFlow{})
+}
+
+func TestLockDiscipline(t *testing.T) {
+	runFixture(t, "lockdiscipline", &LockDiscipline{})
+}
+
+func TestGenBump(t *testing.T) {
+	runFixture(t, "genbump", &GenBump{StorePath: "fix/db", GenField: "DB.gen"})
+}
+
 func TestErrWrap(t *testing.T) {
 	runFixture(t, "errwrap", &ErrWrap{})
 }

@@ -1,0 +1,475 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide static call graph the interprocedural
+// analyzers (lockdiscipline, genbump, transitive nodeterminism and
+// ctxflow) traverse. Nodes are the functions and methods declared in the
+// loaded tree; edges are the calls the type-checker can resolve:
+//
+//   - direct calls to package-level functions and methods (EdgeStatic);
+//   - interface method calls, expanded to every concrete method of a
+//     module type implementing the interface (EdgeInterface) — sound for
+//     module-internal dispatch, which is the only dispatch the analyzers
+//     reason about;
+//   - function and method values referenced without being called
+//     (EdgeFuncValue): `go worker(f)`, `defer s.unlock`, a function
+//     stored in a table. The reference site is treated as a may-call, the
+//     conservative reading the determinism and ctx analyzers need.
+//
+// Function literals are attributed to the function whose body declares
+// them: a call inside a closure inside F is an edge from F. Calls through
+// variables of function type (other than the reference forms above) have
+// no resolvable callee and produce no edge; the analyzers that need
+// soundness treat the patterns they guard (sinks, lock families) at the
+// summary level, where the reference edge already covers the common
+// pass-a-function idioms.
+
+// EdgeKind classifies how a call-graph edge was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call with a statically known callee.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is an interface method call expanded to a concrete
+	// method of a module type implementing the interface.
+	EdgeInterface
+	// EdgeFuncValue is a function or method referenced as a value — it
+	// may be called wherever the value flows, so the reference site is a
+	// conservative may-call edge.
+	EdgeFuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeFuncValue:
+		return "func-value"
+	}
+	return "unknown"
+}
+
+// Edge is one resolved call from a node to a callee. Callee may be a
+// function outside the module (stdlib); such edges terminate traversal
+// but let analyzers test external sinks like time.Now.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// Node is one module function or method in the call graph.
+type Node struct {
+	Fn    *types.Func
+	Pkg   *Package
+	Decl  *ast.FuncDecl
+	Edges []Edge
+}
+
+// CallGraph is the module-wide call graph, keyed by the canonical
+// (generic-origin) *types.Func of each declared function.
+type CallGraph struct {
+	Fset  *token.FileSet
+	nodes map[*types.Func]*Node
+}
+
+// Node returns the graph node for fn (nil for functions not declared in
+// the module, e.g. stdlib callees).
+func (g *CallGraph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[origin(fn)]
+}
+
+// Nodes returns every node, sorted by position for deterministic
+// iteration.
+func (g *CallGraph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := g.Fset.Position(out[i].Decl.Pos()), g.Fset.Position(out[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return out
+}
+
+// origin canonicalizes a possibly-instantiated function or method to its
+// generic origin, so edges into generic code share one node.
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// BuildCallGraph resolves the call graph of a loaded program.
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{Fset: prog.Fset, nodes: make(map[*types.Func]*Node)}
+	// Pass 1: one node per declared function/method.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[origin(fn)] = &Node{Fn: fn, Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+	ifaces := newIfaceResolver(prog)
+	// Pass 2: edges. Every call or function-value reference inside a
+	// declaration body (closures included) becomes an edge from that
+	// declaration's node.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				node := g.nodes[origin(pkg.Info.Defs[fd.Name].(*types.Func))]
+				g.addEdges(node, fd.Body, pkg, ifaces)
+			}
+		}
+	}
+	return g
+}
+
+// addEdges walks body and appends resolved edges to node.
+func (g *CallGraph) addEdges(node *Node, body ast.Node, pkg *Package, ifaces *ifaceResolver) {
+	info := pkg.Info
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			g.addCallEdge(node, n, pkg, ifaces)
+		case *ast.SelectorExpr:
+			// Method value or qualified function value: x.M / pkg.F
+			// referenced, not called.
+			if !isCallFun(n, stack) {
+				if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+					node.Edges = append(node.Edges, Edge{Callee: origin(fn), Pos: n.Pos(), Kind: EdgeFuncValue})
+				}
+			}
+		case *ast.Ident:
+			// Bare function value: a function referenced by name, not
+			// called. The Sel half of a selector is handled above, so
+			// skip it here to avoid double edges.
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			if !isCallFun(n, stack) {
+				if fn, ok := info.Uses[n].(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+					node.Edges = append(node.Edges, Edge{Callee: origin(fn), Pos: n.Pos(), Kind: EdgeFuncValue})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isCallFun reports whether expr is the Fun position of a call (directly
+// or through parentheses), i.e. it is being called rather than referenced.
+func isCallFun(expr ast.Expr, stack []ast.Node) bool {
+	child := ast.Node(expr)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.CallExpr:
+			return parent.Fun == child
+		}
+		return false
+	}
+	return false
+}
+
+// addCallEdge resolves one call expression.
+func (g *CallGraph) addCallEdge(node *Node, call *ast.CallExpr, pkg *Package, ifaces *ifaceResolver) {
+	info := pkg.Info
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			node.Edges = append(node.Edges, Edge{Callee: origin(fn), Pos: call.Pos(), Kind: EdgeStatic})
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		// Interface dispatch: expand to module implementations.
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				for _, impl := range ifaces.implementations(sel.Recv(), fn.Name()) {
+					node.Edges = append(node.Edges, Edge{Callee: impl, Pos: call.Pos(), Kind: EdgeInterface})
+				}
+				// Keep the interface method itself as a static edge too:
+				// external implementations are invisible, but sinks on the
+				// declared method (rare) stay reachable.
+				node.Edges = append(node.Edges, Edge{Callee: origin(fn), Pos: call.Pos(), Kind: EdgeStatic})
+				return
+			}
+		}
+		node.Edges = append(node.Edges, Edge{Callee: origin(fn), Pos: call.Pos(), Kind: EdgeStatic})
+	}
+}
+
+// ifaceResolver maps (interface, method name) to the concrete methods of
+// module types implementing the interface.
+type ifaceResolver struct {
+	named []*types.Named // module named non-interface types with methods
+	cache map[ifaceKey][]*types.Func
+}
+
+type ifaceKey struct {
+	iface  *types.Interface
+	method string
+}
+
+func newIfaceResolver(prog *Program) *ifaceResolver {
+	r := &ifaceResolver{cache: make(map[ifaceKey][]*types.Func)}
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			r.named = append(r.named, named)
+		}
+	}
+	return r
+}
+
+// implementations returns the concrete module methods satisfying the
+// named interface method, sorted for determinism.
+func (r *ifaceResolver) implementations(recv types.Type, method string) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	key := ifaceKey{iface: iface, method: method}
+	if impls, ok := r.cache[key]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, named := range r.named {
+		// The pointer method set contains the value method set, so one
+		// Implements check on *T covers both receiver forms.
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		if m, ok := obj.(*types.Func); ok {
+			impls = append(impls, origin(m))
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].FullName() < impls[j].FullName() })
+	r.cache[key] = impls
+	return impls
+}
+
+// Reachable returns the set of module functions reachable from fn
+// (excluding fn itself unless it is reachable through a cycle), following
+// edges whose callees have nodes and satisfy through (nil means all).
+func (g *CallGraph) Reachable(fn *types.Func, through func(*types.Func) bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	start := g.Node(fn)
+	if start == nil {
+		return seen
+	}
+	queue := []*Node{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			callee := e.Callee
+			if seen[callee] {
+				continue
+			}
+			next := g.Node(callee)
+			if next == nil {
+				continue
+			}
+			if through != nil && !through(callee) {
+				continue
+			}
+			seen[callee] = true
+			queue = append(queue, next)
+		}
+	}
+	return seen
+}
+
+// ChainStep is one frame of a printed call chain.
+type ChainStep struct {
+	Fn  *types.Func
+	Pos token.Pos // call site in the predecessor (start: declaration)
+}
+
+// FindChain returns the shortest call chain from fn to a function
+// satisfying sink, traversing only module functions satisfying through
+// (nil means all). The chain starts at fn and ends at the first function
+// whose direct edges include a sink; the sink itself is appended as the
+// final step (it may be an external function with no node). Returns nil
+// when no chain exists.
+func (g *CallGraph) FindChain(fn *types.Func, sink func(callee *types.Func, e Edge, owner *Node) bool, through func(*types.Func) bool) []ChainStep {
+	start := g.Node(fn)
+	if start == nil {
+		return nil
+	}
+	type item struct {
+		node *Node
+		prev *item
+		via  Edge // edge from prev to node (zero at start)
+	}
+	seen := map[*types.Func]bool{origin(fn): true}
+	queue := []*item{{node: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range it.node.Edges {
+			if sink(e.Callee, e, it.node) {
+				// Rebuild fn → ... → it.node → sink.
+				chain := []ChainStep{{Fn: e.Callee, Pos: e.Pos}}
+				for cur := it; cur != nil; cur = cur.prev {
+					chain = append(chain, ChainStep{Fn: cur.node.Fn, Pos: cur.via.Pos})
+				}
+				for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+					chain[i], chain[j] = chain[j], chain[i]
+				}
+				return chain
+			}
+			next := g.Node(e.Callee)
+			if next == nil || seen[e.Callee] {
+				continue
+			}
+			if through != nil && !through(e.Callee) {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, &item{node: next, prev: it, via: e})
+		}
+	}
+	return nil
+}
+
+// shortFuncName renders a function compactly for chain diagnostics:
+// pkg.Func or pkg.(*Recv).Method.
+func shortFuncName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		recvName := types.TypeString(recv, func(p *types.Package) string { return "" })
+		if named, ok := recv.(*types.Named); ok {
+			recvName = named.Obj().Name()
+		}
+		if fn.Pkg() != nil {
+			return fmt.Sprintf("%s.(%s%s).%s", fn.Pkg().Name(), ptr, recvName, name)
+		}
+		return fmt.Sprintf("(%s%s).%s", ptr, recvName, name)
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// renderChain formats a chain as "a → b → c (file.go:12)", naming the
+// final step's position (base file name and line, stable across checkout
+// locations).
+func renderChain(fset *token.FileSet, chain []ChainStep) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	out := ""
+	for i, step := range chain {
+		if i > 0 {
+			out += " → "
+		}
+		out += shortFuncName(step.Fn)
+	}
+	last := chain[len(chain)-1]
+	if last.Pos.IsValid() {
+		pos := fset.Position(last.Pos)
+		out += fmt.Sprintf(" (%s:%d)", baseName(pos.Filename), pos.Line)
+	}
+	return out
+}
+
+// DescribeGraph writes the outgoing call-graph edges of every module
+// function whose rendered name contains match — the debugging view of
+// what the interprocedural analyzers traverse. Each edge line shows the
+// resolution kind (static, interface, func-value), the callee, and the
+// call position. Errors when nothing matches.
+func DescribeGraph(w io.Writer, prog *Program, match string) error {
+	g := prog.Facts().Graph
+	found := 0
+	for _, n := range g.Nodes() {
+		name := shortFuncName(n.Fn)
+		if !strings.Contains(name, match) {
+			continue
+		}
+		found++
+		pos := prog.Fset.Position(n.Decl.Pos())
+		fmt.Fprintf(w, "%s (%s:%d)\n", name, baseName(pos.Filename), pos.Line)
+		for _, e := range n.Edges {
+			ep := prog.Fset.Position(e.Pos)
+			fmt.Fprintf(w, "  %-10s %-40s %s:%d\n", e.Kind, shortFuncName(e.Callee), baseName(ep.Filename), ep.Line)
+		}
+	}
+	if found == 0 {
+		return fmt.Errorf("no module function matching %q", match)
+	}
+	return nil
+}
+
+// baseName is filepath.Base without importing path/filepath in the hot
+// diagnostic path — fixture and module positions both use slash or
+// OS-native separators.
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

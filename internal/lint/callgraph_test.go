@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// findNode locates a graph node by its rendered short name
+// ("cg.Direct", "cg.(A).M").
+func findNode(t *testing.T, g *CallGraph, short string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if shortFuncName(n.Fn) == short {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s in graph", short)
+	return nil
+}
+
+// edgeNames renders a node's edges as "kind:callee" strings.
+func edgeNames(n *Node) []string {
+	out := make([]string, 0, len(n.Edges))
+	for _, e := range n.Edges {
+		out = append(out, e.Kind.String()+":"+shortFuncName(e.Callee))
+	}
+	return out
+}
+
+func hasEdge(n *Node, want string) bool {
+	for _, e := range edgeNames(n) {
+		if e == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	prog := loadFixture(t, "callgraph")
+	g := prog.Facts().Graph
+
+	cases := []struct {
+		node string
+		want []string
+	}{
+		// Direct static call.
+		{"cg.Direct", []string{"static:cg.Target"}},
+		// Closure body attributed to the enclosing declaration.
+		{"cg.FuncLitCalls", []string{"static:cg.Target"}},
+		// Function referenced as a value.
+		{"cg.ValueRef", []string{"func-value:cg.Target"}},
+		// Interface dispatch expands to both module implementations.
+		{"cg.CallIface", []string{"interface:cg.(A).M", "interface:cg.(*B).M"}},
+		// Bound method value.
+		{"cg.MethodValue", []string{"func-value:cg.(A).M"}},
+	}
+	for _, tc := range cases {
+		n := findNode(t, g, tc.node)
+		for _, w := range tc.want {
+			if !hasEdge(n, w) {
+				t.Errorf("%s: missing edge %s; have %s", tc.node, w, strings.Join(edgeNames(n), ", "))
+			}
+		}
+	}
+
+	// The method-value reference must not leave a spurious edge to the
+	// receiver expression's other methods, and a call must not double up
+	// as static + func-value.
+	mv := findNode(t, g, "cg.Direct")
+	static, funcValue := 0, 0
+	for _, e := range mv.Edges {
+		if shortFuncName(e.Callee) == "cg.Target" {
+			switch e.Kind {
+			case EdgeStatic:
+				static++
+			case EdgeFuncValue:
+				funcValue++
+			}
+		}
+	}
+	if static != 1 || funcValue != 0 {
+		t.Errorf("cg.Direct → cg.Target: want exactly one static edge, got %d static / %d func-value", static, funcValue)
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	prog := loadFixture(t, "callgraph")
+	g := prog.Facts().Graph
+
+	a := findNode(t, g, "cg.ChainA")
+	reach := g.Reachable(a.Fn, nil)
+	for _, want := range []string{"cg.ChainB", "cg.ChainC", "cg.Target"} {
+		found := false
+		for fn := range reach {
+			if shortFuncName(fn) == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ChainA reachable set missing %s", want)
+		}
+	}
+	for fn := range reach {
+		if shortFuncName(fn) == "cg.Other" {
+			t.Errorf("ChainA must not reach cg.Other")
+		}
+	}
+}
+
+func TestCallGraphFindChain(t *testing.T) {
+	prog := loadFixture(t, "callgraph")
+	g := prog.Facts().Graph
+
+	a := findNode(t, g, "cg.ChainA")
+	chain := g.FindChain(a.Fn, func(callee *types.Func, e Edge, owner *Node) bool {
+		return shortFuncName(callee) == "cg.Target"
+	}, nil)
+	if chain == nil {
+		t.Fatal("no chain from ChainA to Target")
+	}
+	var names []string
+	for _, step := range chain {
+		names = append(names, shortFuncName(step.Fn))
+	}
+	got := strings.Join(names, " → ")
+	want := "cg.ChainA → cg.ChainB → cg.ChainC → cg.Target"
+	if got != want {
+		t.Errorf("chain = %s, want %s", got, want)
+	}
+	rendered := renderChain(prog.Fset, chain)
+	if !strings.Contains(rendered, want) || !strings.Contains(rendered, "cg.go:") {
+		t.Errorf("renderChain = %q: want chain text plus a cg.go position", rendered)
+	}
+}

@@ -5,21 +5,31 @@ package lint
 // guards modulePath/internal/obs, and the determinism policy covers the
 // packages the paper's figures are reproduced from — RL, similarity,
 // experiment harness, data generation and fault injection, where every
-// random draw must come from an explicit seed.
+// random draw must come from an explicit seed. The interprocedural
+// analyzers (lockdiscipline, genbump, and the transitive layers of
+// ctxflow/nodeterminism) share one lazily built call graph and summary
+// set per run.
 func DefaultAnalyzers(modulePath string) []Analyzer {
 	internal := func(p string) string { return modulePath + "/internal/" + p }
 	return []Analyzer{
 		&ObsNames{ObsPath: internal("obs")},
 		&CtxFlow{},
-		&NoDeterminism{Packages: []string{
-			internal("rl"),
-			internal("sim"),
-			internal("experiment"),
-			internal("datagen"),
-			internal("faultinject"),
-			internal("traffic"),
-		}},
+		&NoDeterminism{
+			Packages: []string{
+				internal("rl"),
+				internal("sim"),
+				internal("experiment"),
+				internal("datagen"),
+				internal("faultinject"),
+				internal("traffic"),
+			},
+			// Observability is timing plumbing by design: its clock reads
+			// feed latency metrics, never deterministic outputs.
+			Exempt: []string{internal("obs")},
+		},
 		&ErrWrap{},
 		&NoPanic{},
+		&LockDiscipline{},
+		&GenBump{StorePath: internal("store"), GenField: "Store.gen"},
 	}
 }

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GenBump mechanizes the store's cache-invalidation contract: every
+// external entry point of the triple store that mutates index state —
+// an index-map write, a tombstone write, a posting-list append — must
+// bump the store's atomic generation counter, because the serving layer
+// keys its result cache on that counter and a missed bump serves stale
+// rows forever.
+//
+// The check is interprocedural: an exported function (or method) of the
+// store package whose reachable summaries include a field mutation of a
+// store-package struct must also reach at least one `gen.Add`/`gen.Store`
+// site on the configured field. Deleting any single bump site therefore
+// breaks the exported entry points that relied on it. A single function
+// whose own body bumps the counter more than once is flagged too: the
+// contract is exactly one bump per mutating call, and double bumps make
+// generation deltas meaningless in the invalidation metrics.
+//
+// "Index state" is defined structurally, not by a name list: the struct
+// holding the generation field (Store) plus every struct type reachable
+// through its fields (tripleIndex, indexStripe, ...). Writes to other
+// store-package structs — result views like Entity, serialization
+// buffers like snapshot — are not guarded state and do not require a
+// bump.
+//
+// Constructors (receiver-less exported functions returning the store
+// package's own types) are exempt: a store being built is not yet visible
+// to any cache, so its initialization writes precede generation zero.
+type GenBump struct {
+	// StorePath is the import path of the guarded package
+	// ("alex/internal/store").
+	StorePath string
+	// GenField is the canonical generation field ("Store.gen").
+	GenField string
+
+	// guarded caches the struct names comprising index state, computed
+	// once per run from the root struct's field closure.
+	guarded map[string]bool
+}
+
+func (a *GenBump) Name() string { return "genbump" }
+
+func (a *GenBump) Doc() string {
+	return "store entry points that mutate index state must bump the generation counter"
+}
+
+func (a *GenBump) Run(pass *Pass) {
+	if pass.Pkg.Path != a.StorePath {
+		return
+	}
+	a.guarded = a.guardedStructs(pass)
+	facts := pass.Facts()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if a.isConstructor(pass, fd, fn) {
+				continue
+			}
+			a.checkEntryPoint(pass, facts, fd, fn)
+		}
+	}
+}
+
+// isConstructor reports whether fd is a receiver-less exported function
+// returning one of the store package's own (pointer-to-)named types.
+func (a *GenBump) isConstructor(pass *Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == a.StorePath {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *GenBump) checkEntryPoint(pass *Pass, facts *Facts, fd *ast.FuncDecl, fn *types.Func) {
+	// Gather the entry point's own effects plus everything reachable.
+	reach := facts.Graph.Reachable(fn, nil)
+	reach[origin(fn)] = true
+
+	var writes []FieldWrite
+	bumpSites := map[token.Pos]bool{}
+	ownBumps := 0
+	for callee := range reach {
+		sum := facts.Summary(callee)
+		if sum == nil {
+			continue
+		}
+		for _, fw := range sum.FieldWrites {
+			if fw.OwnerPkg == a.StorePath && a.guarded[structOf(fw.Field)] {
+				writes = append(writes, fw)
+			}
+		}
+		for _, gb := range sum.GenBumps {
+			if gb.OwnerPkg == a.StorePath && gb.Field == a.GenField {
+				bumpSites[gb.Pos] = true
+				if callee == origin(fn) {
+					ownBumps++
+				}
+			}
+		}
+	}
+	if len(writes) > 0 && len(bumpSites) == 0 {
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Pos < writes[j].Pos })
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s mutates store index state (%s) without bumping %s: %s — cached results will serve stale data",
+			fn.Name(), writes[0].Field, a.GenField, a.writeChain(pass, facts, fn, writes[0]))
+	}
+	if ownBumps >= 2 {
+		pass.Reportf(fd.Name.Pos(),
+			"%s bumps %s %d times in one call: the generation contract is exactly one bump per mutating entry point",
+			fn.Name(), a.GenField, ownBumps)
+	}
+}
+
+// guardedStructs computes the names of the structs comprising index
+// state: the root struct named in GenField plus every store-package
+// struct reachable through its fields, transitively (maps, slices,
+// arrays, and pointers unwrapped).
+func (a *GenBump) guardedStructs(pass *Pass) map[string]bool {
+	rootName := structOf(a.GenField)
+	out := map[string]bool{rootName: true}
+	scope := pass.Pkg.Types.Scope()
+	var visit func(t types.Type)
+	seen := map[types.Type]bool{}
+	visit = func(t types.Type) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		switch u := t.(type) {
+		case *types.Pointer:
+			visit(u.Elem())
+		case *types.Slice:
+			visit(u.Elem())
+		case *types.Array:
+			visit(u.Elem())
+		case *types.Map:
+			visit(u.Key())
+			visit(u.Elem())
+		case *types.Named:
+			obj := u.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != a.StorePath {
+				return
+			}
+			if st, ok := u.Underlying().(*types.Struct); ok {
+				out[obj.Name()] = true
+				for i := 0; i < st.NumFields(); i++ {
+					visit(st.Field(i).Type())
+				}
+			}
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				visit(u.Field(i).Type())
+			}
+		}
+	}
+	if tn, ok := scope.Lookup(rootName).(*types.TypeName); ok {
+		visit(tn.Type())
+	}
+	return out
+}
+
+// structOf returns the struct-name half of a "Struct.field" key.
+func structOf(field string) string {
+	for i := 0; i < len(field); i++ {
+		if field[i] == '.' {
+			return field[:i]
+		}
+	}
+	return field
+}
+
+// writeChain renders how the entry point reaches its first index write.
+func (a *GenBump) writeChain(pass *Pass, facts *Facts, fn *types.Func, fw FieldWrite) string {
+	pos := pass.Fset.Position(fw.Pos)
+	at := baseName(pos.Filename) + ":" + itoa(pos.Line)
+	own := facts.Summary(fn)
+	if own != nil {
+		for _, w := range own.FieldWrites {
+			if w.Pos == fw.Pos {
+				return "writes " + fw.Field + " at " + at
+			}
+		}
+	}
+	chain := facts.Graph.FindChain(fn, func(callee *types.Func, e Edge, owner *Node) bool {
+		sum := facts.Summary(callee)
+		if sum == nil {
+			return false
+		}
+		for _, w := range sum.FieldWrites {
+			if w.OwnerPkg == a.StorePath && a.guarded[structOf(w.Field)] {
+				return true
+			}
+		}
+		return false
+	}, nil)
+	if chain == nil {
+		return "writes " + fw.Field + " at " + at
+	}
+	return renderChain(pass.Fset, chain) + " writes " + fw.Field + " at " + at
+}

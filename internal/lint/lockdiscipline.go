@@ -1,0 +1,706 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the repo's mutex protocol, which the striped
+// dict/index locks and the serving-layer caches depend on:
+//
+//  1. every Lock()/RLock() is released on all exit paths — by a defer
+//     (direct, in a deferred closure, or via a deferred helper whose
+//     summary releases the lock) or by a straight-line Unlock before
+//     every return;
+//  2. no return (or fall-off-the-end) while a lock is still held;
+//  3. no call, while a named lock family is held, into a function whose
+//     transitive summary re-acquires the same family in a conflicting
+//     mode (write-write or read-write) — the classic self-deadlock the
+//     compiler cannot see across function boundaries.
+//
+// The analysis is block-structured and deliberately conservative in the
+// false-positive direction: at control-flow joins the held set is the
+// intersection of the branch states (a lock held on only some paths is
+// not reported at the join; a later return that must hold it still is),
+// loop bodies must be lock-balanced, and goroutine bodies are analyzed
+// as separate scopes (they run asynchronously). Lock instances are keyed
+// by operand expression ("s.mu"), lock families canonically by
+// "pkg.Type.field" so striped locks on different instances of one family
+// are distinguished from genuine re-entry.
+type LockDiscipline struct {
+	// cache memoizes transitive acquired-family sets per function for
+	// one program's facts.
+	cache      map[*types.Func]map[string]LockMode
+	cacheFacts *Facts
+}
+
+func (a *LockDiscipline) Name() string { return "lockdiscipline" }
+
+func (a *LockDiscipline) Doc() string {
+	return "locks released on every exit path; no call under a lock into a function re-acquiring the same family"
+}
+
+func (a *LockDiscipline) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, fd)
+		}
+	}
+}
+
+// lockInstance identifies one mutex operand within a function.
+type lockInstance struct {
+	key    string // types.ExprString of the operand ("s.mu")
+	family string // canonical family ("store.Store.mu"), "" when local
+	mode   LockMode
+	pos    token.Pos
+}
+
+// ldState is the abstract lock state at one program point.
+type ldState struct {
+	held             map[string]lockInstance // by instance key
+	deferredKeys     map[string]bool         // instance keys released at exit
+	deferredFamilies map[string]bool         // families released at exit
+}
+
+func newLDState() *ldState {
+	return &ldState{
+		held:             map[string]lockInstance{},
+		deferredKeys:     map[string]bool{},
+		deferredFamilies: map[string]bool{},
+	}
+}
+
+func (s *ldState) clone() *ldState {
+	c := newLDState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferredKeys {
+		c.deferredKeys[k] = true
+	}
+	for k := range s.deferredFamilies {
+		c.deferredFamilies[k] = true
+	}
+	return c
+}
+
+// intersect keeps only the held locks and defers present in both states
+// (the must-hold join that keeps conditional locking out of the reports).
+func (s *ldState) intersect(o *ldState) {
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			delete(s.held, k)
+		}
+	}
+	for k := range s.deferredKeys {
+		if !o.deferredKeys[k] {
+			delete(s.deferredKeys, k)
+		}
+	}
+	for k := range s.deferredFamilies {
+		if !o.deferredFamilies[k] {
+			delete(s.deferredFamilies, k)
+		}
+	}
+}
+
+// covered reports whether instance inst is released at function exit by a
+// registered defer.
+func (s *ldState) covered(inst lockInstance) bool {
+	if s.deferredKeys[inst.key] {
+		return true
+	}
+	return inst.family != "" && s.deferredFamilies[inst.family]
+}
+
+// ldChecker carries per-function analysis context.
+type ldChecker struct {
+	a        *LockDiscipline
+	pass     *Pass
+	facts    *Facts
+	reported map[string]bool // instance keys already reported (leak dedupe)
+	// subScopes queues closures (go statements, stray literals) analyzed
+	// as independent scopes after the main body.
+	subScopes []ast.Node
+}
+
+func (a *LockDiscipline) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	c := &ldChecker{a: a, pass: pass, facts: pass.Facts(), reported: map[string]bool{}}
+	st := newLDState()
+	terminated := c.stmts(fd.Body.List, st)
+	if !terminated {
+		c.checkExit(st, fd.Body.Rbrace, "function ends")
+	}
+	c.checkNeverReleased(fd, st)
+	// Closures run in their own dynamic context: balance is checked per
+	// scope. (Queued scopes may queue further scopes.)
+	for len(c.subScopes) > 0 {
+		body := c.subScopes[0]
+		c.subScopes = c.subScopes[1:]
+		sub := newLDState()
+		if block, ok := body.(*ast.BlockStmt); ok {
+			if !c.stmts(block.List, sub) {
+				c.checkExit(sub, block.Rbrace, "goroutine ends")
+			}
+		}
+	}
+}
+
+// stmts interprets a statement list, mutating st. The return reports
+// whether every path through the list terminates (return/branch) before
+// reaching the end.
+func (c *ldChecker) stmts(list []ast.Stmt, st *ldState) bool {
+	for _, stmt := range list {
+		if c.stmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ldChecker) stmt(stmt ast.Stmt, st *ldState) bool {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(s.List, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st)
+		}
+		c.checkExit(st, s.Pos(), "returns")
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; balance is checked
+		// where the path resumes, which this block-level analysis does
+		// not model — treat as terminated (conservatively silent).
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := c.stmts(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			thenSt.intersect(elseSt)
+			*st = *thenSt
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, st)
+		}
+		c.loopBody(s.Body, st)
+		return false
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		c.loopBody(s.Body, st)
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branches(stmt, st)
+	case *ast.DeferStmt:
+		c.deferCall(s.Call, st)
+		return false
+	case *ast.GoStmt:
+		// Runs asynchronously: analyze the body as a separate scope.
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.subScopes = append(c.subScopes, lit.Body)
+		}
+		for _, arg := range s.Call.Args {
+			c.expr(arg, st)
+		}
+		return false
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case nil:
+		return false
+	default:
+		// Simple statements: scan contained expressions in order.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.expr(e, st)
+				return false
+			}
+			return true
+		})
+		return false
+	}
+}
+
+// loopBody interprets a loop body on a clone (the loop may run zero
+// times) and reports any lock the body acquires without releasing.
+func (c *ldChecker) loopBody(body *ast.BlockStmt, st *ldState) {
+	entry := st.clone()
+	inner := st.clone()
+	if c.stmts(body.List, inner) {
+		return // every path breaks/returns; exit checks already ran
+	}
+	for k, inst := range inner.held {
+		if _, was := entry.held[k]; was || inner.covered(inst) {
+			continue
+		}
+		c.pass.Reportf(inst.pos,
+			"loop body leaves %s locked: each iteration must release what it acquires", inst.key)
+		c.reported[inst.key] = true
+	}
+}
+
+// branches interprets switch/type-switch/select clause bodies as
+// alternative paths and joins them by intersection.
+func (c *ldChecker) branches(stmt ast.Stmt, st *ldState) bool {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	collect := func(body []ast.Stmt, isDefault bool) {
+		bodies = append(bodies, body)
+		if isDefault {
+			hasDefault = true
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			collect(clause.Body, clause.List == nil)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			collect(clause.Body, clause.List == nil)
+		}
+	case *ast.SelectStmt:
+		// A select always executes exactly one case.
+		hasDefault = true
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			if clause.Comm != nil {
+				c.stmt(clause.Comm, st)
+			}
+			collect(clause.Body, false)
+		}
+	}
+	if len(bodies) == 0 {
+		return false
+	}
+	var joined *ldState
+	allTerm := true
+	for _, body := range bodies {
+		bs := st.clone()
+		if c.stmts(body, bs) {
+			continue
+		}
+		allTerm = false
+		if joined == nil {
+			joined = bs
+		} else {
+			joined.intersect(bs)
+		}
+	}
+	if allTerm && hasDefault {
+		return true
+	}
+	if joined != nil {
+		if !hasDefault {
+			joined.intersect(st) // the no-case-matched path
+		}
+		*st = *joined
+	}
+	return false
+}
+
+// deferCall registers the exit-time releases a defer performs.
+func (c *ldChecker) deferCall(call *ast.CallExpr, st *ldState) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if inst, acquire, ok := c.lockOp(fun); ok {
+			if !acquire {
+				st.deferredKeys[inst.key] = true
+			}
+			return
+		}
+		// defer helper() where the helper's summary releases a family.
+		if fn, ok := c.pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			for f := range c.netReleases(fn) {
+				st.deferredFamilies[f] = true
+			}
+		}
+	case *ast.Ident:
+		if fn, ok := c.pass.Pkg.Info.Uses[fun].(*types.Func); ok {
+			for f := range c.netReleases(fn) {
+				st.deferredFamilies[f] = true
+			}
+		}
+	case *ast.FuncLit:
+		// defer func() { ... }(): unlocks of instances not locked inside
+		// the literal release the enclosing function's locks at exit.
+		locked := map[string]bool{}
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			inst, acquire, ok := c.lockOp(sel)
+			if !ok {
+				return true
+			}
+			if acquire {
+				locked[inst.key] = true
+			} else if !locked[inst.key] {
+				st.deferredKeys[inst.key] = true
+			}
+			return true
+		})
+	}
+}
+
+// expr scans one expression in evaluation-ish (pre-)order, applying lock
+// operations and checking calls made under held locks. Function literals
+// are queued as separate scopes.
+func (c *ldChecker) expr(e ast.Expr, st *ldState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.subScopes = append(c.subScopes, n.Body)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if inst, acquire, ok := c.lockOp(sel); ok {
+					c.applyLockOp(inst, acquire, st)
+					return true // still scan args (none for Lock)
+				}
+			}
+			c.checkCallUnderLock(n, st)
+			c.applyCalleeNetEffect(n, st)
+		}
+		return true
+	})
+}
+
+// lockOp matches a selector that names a sync.Mutex/RWMutex method and
+// resolves its operand instance.
+func (c *ldChecker) lockOp(sel *ast.SelectorExpr) (lockInstance, bool, bool) {
+	fn, ok := c.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !mutexMethods[fn.Name()] {
+		return lockInstance{}, false, false
+	}
+	inst := lockInstance{
+		key:    types.ExprString(unparen(sel.X)),
+		family: lockFamilyOf(c.pass.Pkg.Info, sel),
+		mode:   lockModeOf(fn.Name()),
+		pos:    sel.Pos(),
+	}
+	acquire := fn.Name() == "Lock" || fn.Name() == "RLock"
+	return inst, acquire, true
+}
+
+func (c *ldChecker) applyLockOp(inst lockInstance, acquire bool, st *ldState) {
+	if !acquire {
+		delete(st.held, inst.key)
+		return
+	}
+	if prev, dup := st.held[inst.key]; dup && (prev.mode == LockWrite || inst.mode == LockWrite) {
+		c.pass.Reportf(inst.pos,
+			"%s locked again while already held (first at %s): self-deadlock",
+			inst.key, c.shortPos(prev.pos))
+		c.reported[inst.key] = true
+		return
+	}
+	st.held[inst.key] = inst
+}
+
+// checkCallUnderLock applies rule 3: while a canonical family is held,
+// calling a function whose transitive summary re-acquires that family in
+// a conflicting mode deadlocks.
+func (c *ldChecker) checkCallUnderLock(call *ast.CallExpr, st *ldState) {
+	if len(st.held) == 0 {
+		return
+	}
+	callee := c.calleeFunc(call)
+	if callee == nil || c.facts.Graph.Node(callee) == nil {
+		return
+	}
+	acq := c.transitiveAcquires(callee)
+	if len(acq) == 0 {
+		return
+	}
+	for _, inst := range st.held {
+		if inst.family == "" {
+			continue
+		}
+		mode, ok := acq[inst.family]
+		if !ok {
+			continue
+		}
+		if inst.mode == LockRead && mode == LockRead {
+			continue // read-read re-entry does not self-deadlock
+		}
+		chain := c.chainToAcquire(callee, inst.family)
+		c.pass.Reportf(call.Pos(),
+			"call while %s (family %s) is held: %s re-acquires the same lock family — deadlock",
+			inst.key, inst.family, chain)
+	}
+}
+
+// applyCalleeNetEffect folds a called helper's unconditional lock effect
+// into the state: a helper that releases a family unlocks the matching
+// held instances (the unlock-in-a-helper idiom); net acquires are tracked
+// under a family-keyed instance.
+func (c *ldChecker) applyCalleeNetEffect(call *ast.CallExpr, st *ldState) {
+	callee := c.calleeFunc(call)
+	if callee == nil {
+		return
+	}
+	sum := c.facts.Summary(callee)
+	if sum == nil {
+		return
+	}
+	acquires, releases := netLockEffect(sum)
+	for f := range releases {
+		for k, inst := range st.held {
+			if inst.family == f {
+				delete(st.held, k)
+			}
+		}
+	}
+	for f, mode := range acquires {
+		key := "<" + f + ">"
+		st.held[key] = lockInstance{key: key, family: f, mode: mode, pos: call.Pos()}
+	}
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func (c *ldChecker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.Pkg.Info.Uses[fun].(*types.Func)
+		return origin(fn)
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return origin(fn)
+	}
+	return nil
+}
+
+// checkExit reports every lock still held (and not defer-covered) at an
+// exit point.
+func (c *ldChecker) checkExit(st *ldState, pos token.Pos, what string) {
+	for _, inst := range st.held {
+		if st.covered(inst) {
+			continue
+		}
+		c.pass.Reportf(pos,
+			"%s with %s still locked (acquired at %s): unlock on every exit path or defer the unlock",
+			what, inst.key, c.shortPos(inst.pos))
+		c.reported[inst.key] = true
+	}
+}
+
+// checkNeverReleased is the backstop leak check: a Lock whose instance is
+// never unlocked anywhere in the function (directly, deferred, or via a
+// releasing helper) is reported even when conservative joins hid it from
+// the exit checks.
+func (c *ldChecker) checkNeverReleased(fd *ast.FuncDecl, st *ldState) {
+	released := map[string]bool{}
+	families := map[string]bool{}
+	var acquires []lockInstance
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if inst, acquire, ok := c.lockOp(n); ok {
+				if acquire {
+					acquires = append(acquires, inst)
+				} else {
+					released[inst.key] = true
+					if inst.family != "" {
+						families[inst.family] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if callee := c.calleeFunc(n); callee != nil {
+				for f := range c.netReleases(callee) {
+					families[f] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, inst := range acquires {
+		if released[inst.key] || c.reported[inst.key] {
+			continue
+		}
+		if inst.family != "" && families[inst.family] {
+			continue
+		}
+		c.pass.Reportf(inst.pos,
+			"%s is locked here but never released in this function: add an unlock or defer", inst.key)
+	}
+}
+
+// netLockEffect computes the unconditional-looking lock effect of one
+// function summary: families acquired but never released (helpers that
+// hand a lock to their caller) and families released but never acquired
+// (unlock helpers).
+func netLockEffect(sum *Summary) (acquires map[string]LockMode, releases map[string]bool) {
+	acquired := map[string]LockMode{}
+	releasedSet := map[string]bool{}
+	for _, op := range sum.LockOps {
+		if op.Family == "" {
+			continue
+		}
+		if op.Acquire {
+			if mode, ok := acquired[op.Family]; !ok || mode == LockRead {
+				acquired[op.Family] = op.Mode
+			}
+		} else {
+			releasedSet[op.Family] = true
+		}
+	}
+	acquires = map[string]LockMode{}
+	releases = map[string]bool{}
+	for f, mode := range acquired {
+		if !releasedSet[f] {
+			acquires[f] = mode
+		}
+	}
+	for f := range releasedSet {
+		if _, ok := acquired[f]; !ok {
+			releases[f] = true
+		}
+	}
+	return acquires, releases
+}
+
+// netReleases returns the families fn releases without acquiring.
+func (c *ldChecker) netReleases(fn *types.Func) map[string]bool {
+	sum := c.facts.Summary(fn)
+	if sum == nil {
+		return nil
+	}
+	_, releases := netLockEffect(sum)
+	return releases
+}
+
+// transitiveAcquires returns every family fn or its module-internal
+// callees acquire, memoized per program.
+func (a *LockDiscipline) transitiveAcquiresImpl(facts *Facts, fn *types.Func) map[string]LockMode {
+	if a.cacheFacts != facts {
+		a.cache = map[*types.Func]map[string]LockMode{}
+		a.cacheFacts = facts
+	}
+	if got, ok := a.cache[fn]; ok {
+		return got
+	}
+	out := map[string]LockMode{}
+	merge := func(sum *Summary) {
+		if sum == nil {
+			return
+		}
+		for f, mode := range sum.AcquiredFamilies() {
+			if prev, ok := out[f]; !ok || prev == LockRead {
+				out[f] = mode
+			}
+		}
+	}
+	merge(facts.Summary(fn))
+	for callee := range facts.Graph.Reachable(fn, nil) {
+		merge(facts.Summary(callee))
+	}
+	a.cache[fn] = out
+	return out
+}
+
+func (c *ldChecker) transitiveAcquires(fn *types.Func) map[string]LockMode {
+	return c.a.transitiveAcquiresImpl(c.facts, fn)
+}
+
+// chainToAcquire renders the shortest chain from callee to the function
+// that performs the conflicting acquire.
+func (c *ldChecker) chainToAcquire(callee *types.Func, family string) string {
+	acquiresFamily := func(fn *types.Func) (token.Pos, bool) {
+		sum := c.facts.Summary(fn)
+		if sum == nil {
+			return token.NoPos, false
+		}
+		for _, op := range sum.LockOps {
+			if op.Acquire && op.Family == family {
+				return op.Pos, true
+			}
+		}
+		return token.NoPos, false
+	}
+	if pos, ok := acquiresFamily(callee); ok {
+		return shortFuncName(callee) + " (" + c.shortPos(pos) + ")"
+	}
+	chain := c.facts.Graph.FindChain(callee, func(target *types.Func, e Edge, owner *Node) bool {
+		_, ok := acquiresFamily(target)
+		return ok
+	}, nil)
+	if chain == nil {
+		return shortFuncName(callee)
+	}
+	if pos, ok := acquiresFamily(chain[len(chain)-1].Fn); ok {
+		chain[len(chain)-1].Pos = pos
+	}
+	return renderChain(c.pass.Fset, chain)
+}
+
+// shortPos renders a position as "file.go:12".
+func (c *ldChecker) shortPos(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return baseName(p.Filename) + ":" + itoa(p.Line)
+}
+
+// itoa avoids strconv in this file's hot diagnostic paths.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes per-function effect summaries — the dataflow layer
+// the interprocedural analyzers combine with the call graph. One AST walk
+// per declared function records:
+//
+//   - wall-clock reads and global math/rand draws (nodeterminism sinks);
+//   - named-mutex acquire/release sites, keyed by lock family
+//     ("pkg.Type.field"), for the lockdiscipline analyzer;
+//   - index-map/tombstone writes to fields of module structs and atomic
+//     generation bumps (`x.gen.Add(..)`), for the genbump analyzer;
+//   - context-droppable calls — a call to M where an MContext variant
+//     exists, inside a function that has no ctx parameter to thread —
+//     the transitive ctxflow sinks.
+//
+// Summaries are per-declaration facts; reachability over the call graph
+// turns them into the transitive judgments the analyzers report.
+
+// LockMode distinguishes write locks from read locks.
+type LockMode int
+
+const (
+	LockWrite LockMode = iota // Lock/Unlock
+	LockRead                  // RLock/RUnlock
+)
+
+// LockOp is one acquire or release of a named mutex.
+type LockOp struct {
+	Family  string // canonical "pkg.Type.field" ("" when not field-based)
+	Mode    LockMode
+	Acquire bool
+	Pos     token.Pos
+}
+
+// SinkCall is one direct call to an effectful function a discipline cares
+// about (time.Now, rand.Intn, an M-with-Context-variant, a gen bump).
+type SinkCall struct {
+	Name string // rendered callee ("time.Now", "rand.Intn", "Query")
+	Pos  token.Pos
+}
+
+// FieldWrite is one mutation of a map/slice field of a module struct:
+// m[k] = v, delete(m, k), s[i] = v, or f = append(f, ...).
+type FieldWrite struct {
+	OwnerPkg string // package path declaring the struct
+	Field    string // "Store.triples"
+	Pos      token.Pos
+}
+
+// Summary is the effect summary of one declared function.
+type Summary struct {
+	Fn *types.Func
+
+	ClockCalls []SinkCall // time.Now/Since/Until
+	RandCalls  []SinkCall // global math/rand draws
+
+	LockOps []LockOp
+
+	FieldWrites []FieldWrite
+	GenBumps    []FieldWrite // atomic .Add/.Store on fields, Field = "Store.gen"
+
+	// CtxDrops are calls to M where an MContext variant exists, made from
+	// a function that has no context parameter of its own. A context
+	// arriving above this function in the call chain cannot reach M.
+	CtxDrops []SinkCall
+
+	// HasCtxParam reports whether the function declares a context.Context
+	// parameter.
+	HasCtxParam bool
+}
+
+// AcquiredFamilies returns the set of field-based lock families this
+// function acquires (either mode), for transitive re-entry checks.
+func (s *Summary) AcquiredFamilies() map[string]LockMode {
+	var out map[string]LockMode
+	for _, op := range s.LockOps {
+		if !op.Acquire || op.Family == "" {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]LockMode)
+		}
+		// Write mode dominates: a function that both RLocks and Locks a
+		// family is recorded as a write acquirer.
+		if mode, ok := out[op.Family]; !ok || mode == LockRead {
+			out[op.Family] = op.Mode
+		}
+	}
+	return out
+}
+
+// buildSummaries computes the summary of every call-graph node.
+func buildSummaries(prog *Program, graph *CallGraph) map[*types.Func]*Summary {
+	out := make(map[*types.Func]*Summary, len(graph.nodes))
+	for fn, node := range graph.nodes {
+		out[fn] = summarize(node)
+	}
+	return out
+}
+
+// summarize runs the single effect-extraction walk over one declaration.
+func summarize(node *Node) *Summary {
+	info := node.Pkg.Info
+	s := &Summary{Fn: node.Fn}
+	s.HasCtxParam = funcHasContextParam(info, node.Decl)
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// delete(m, k) on a module struct field.
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(call.Args) == 2 {
+				if fw, ok := fieldWriteTarget(info, call.Args[0]); ok {
+					s.FieldWrites = append(s.FieldWrites, FieldWrite{OwnerPkg: fw.OwnerPkg, Field: fw.Field, Pos: call.Pos()})
+				}
+			}
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		pkgPath := ""
+		if fn.Pkg() != nil {
+			pkgPath = fn.Pkg().Path()
+		}
+		switch {
+		case pkgPath == "time" && sig != nil && sig.Recv() == nil && wallClockFuncs[fn.Name()]:
+			s.ClockCalls = append(s.ClockCalls, SinkCall{Name: "time." + fn.Name(), Pos: call.Pos()})
+		case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && sig != nil && sig.Recv() == nil && !seededConstructors[fn.Name()]:
+			s.RandCalls = append(s.RandCalls, SinkCall{Name: "rand." + fn.Name(), Pos: call.Pos()})
+		case pkgPath == "sync" && mutexMethods[fn.Name()]:
+			family := lockFamilyOf(info, sel)
+			s.LockOps = append(s.LockOps, LockOp{
+				Family:  family,
+				Mode:    lockModeOf(fn.Name()),
+				Acquire: fn.Name() == "Lock" || fn.Name() == "RLock",
+				Pos:     call.Pos(),
+			})
+		case pkgPath == "sync/atomic" && (fn.Name() == "Add" || fn.Name() == "Store") && sig != nil && sig.Recv() != nil:
+			if fw, ok := fieldWriteTarget(info, sel.X); ok {
+				s.GenBumps = append(s.GenBumps, FieldWrite{OwnerPkg: fw.OwnerPkg, Field: fw.Field, Pos: call.Pos()})
+			}
+		default:
+			if sig != nil && !s.HasCtxParam && !strings.HasSuffix(fn.Name(), "Context") {
+				if ps := sig.Params(); ps.Len() == 0 || !isContextType(ps.At(0).Type()) {
+					if variant := contextVariantOf(info, sel, fn); variant != nil {
+						s.CtxDrops = append(s.CtxDrops, SinkCall{Name: fn.Name(), Pos: call.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Assignment-based mutations need the statement view, not just calls.
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range asg.Lhs {
+			lhs = unparen(lhs)
+			switch l := lhs.(type) {
+			case *ast.IndexExpr:
+				// m[k] = v / s[i] = v on a module struct field.
+				if fw, ok := fieldWriteTarget(info, l.X); ok {
+					s.FieldWrites = append(s.FieldWrites, FieldWrite{OwnerPkg: fw.OwnerPkg, Field: fw.Field, Pos: lhs.Pos()})
+				}
+			case *ast.SelectorExpr:
+				// f = append(f, ...): growth of a slice field. Whole-field
+				// replacement with a fresh value (f = make(...), f = nil)
+				// is (re)initialization, not data mutation, and is skipped.
+				if len(asg.Rhs) != len(asg.Lhs) {
+					continue
+				}
+				if isAppendCall(info, asg.Rhs[i]) {
+					if fw, ok := fieldWriteTarget(info, l); ok {
+						s.FieldWrites = append(s.FieldWrites, FieldWrite{OwnerPkg: fw.OwnerPkg, Field: fw.Field, Pos: lhs.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+var mutexMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+}
+
+func lockModeOf(method string) LockMode {
+	if method == "RLock" || method == "RUnlock" {
+		return LockRead
+	}
+	return LockWrite
+}
+
+// lockFamilyOf canonicalizes the mutex operand of a sync method call.
+// `s.mu.Lock()` on a field mu of type T in package p yields "p.T.mu";
+// an embedded mutex (`t.Lock()`) yields "p.T.<embedded>"; a local mutex
+// variable yields "" (intraprocedural analyses key those by expression).
+func lockFamilyOf(info *types.Info, sel *ast.SelectorExpr) string {
+	inner := unparen(sel.X)
+	if innerSel, ok := inner.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[innerSel]; ok && s.Kind() == types.FieldVal {
+			if named := namedRecv(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + innerSel.Sel.Name
+			}
+		}
+		return ""
+	}
+	// Embedded mutex: the method selector itself selects through the
+	// outer type (t.Lock()).
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		if named := namedRecv(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+			// Only treat it as a family when the receiver is a struct
+			// embedding the mutex, not a plain named mutex local.
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + ".<embedded>"
+			}
+		}
+	}
+	return ""
+}
+
+// namedRecv unwraps pointers to the named type of a receiver, if any.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fieldWriteTarget resolves an expression to the struct field it names,
+// when the base is a field selector of a named module struct type whose
+// field is a map or slice (or an atomic counter, for gen bumps).
+func fieldWriteTarget(info *types.Info, expr ast.Expr) (FieldWrite, bool) {
+	sel, ok := unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return FieldWrite{}, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return FieldWrite{}, false
+	}
+	named := namedRecv(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return FieldWrite{}, false
+	}
+	return FieldWrite{
+		OwnerPkg: named.Obj().Pkg().Path(),
+		Field:    named.Obj().Name() + "." + sel.Sel.Name,
+	}, true
+}
+
+// isAppendCall reports whether expr is a call to the append builtin.
+func isAppendCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// funcHasContextParam reports whether fd declares a context.Context
+// parameter (receiver excluded).
+func funcHasContextParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t, ok := info.Types[field.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextVariantOf finds an <M>Context sibling of fn whose first
+// parameter is a context.Context — a method on the same receiver, or a
+// package-level function in the same package. Shared by the ctxflow
+// analyzer (direct rule) and the summary layer (transitive sinks).
+func contextVariantOf(info *types.Info, sel *ast.SelectorExpr, fn *types.Func) *types.Func {
+	want := fn.Name() + "Context"
+	var obj types.Object
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		obj, _, _ = types.LookupFieldOrMethod(selection.Recv(), true, fn.Pkg(), want)
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(want)
+	}
+	v, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := v.Type().(*types.Signature)
+	if ps := sig.Params(); ps.Len() > 0 && isContextType(ps.At(0).Type()) {
+		return v
+	}
+	return nil
+}

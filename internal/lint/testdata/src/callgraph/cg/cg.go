@@ -1,0 +1,46 @@
+// Package cg exercises the call-graph builder's edge kinds: static
+// calls, interface dispatch, method values, bare function values, and
+// closure attribution.
+package cg
+
+func Target() {}
+
+func Other() {}
+
+// Direct: one static edge.
+func Direct() { Target() }
+
+// FuncLitCalls: the call inside the literal is attributed to the
+// enclosing declaration.
+func FuncLitCalls() {
+	f := func() { Target() }
+	f()
+}
+
+// ValueRef: a function referenced, not called — a may-call edge.
+func ValueRef() func() {
+	return Target
+}
+
+type I interface{ M() }
+
+type A struct{}
+
+func (A) M() { Other() }
+
+type B struct{}
+
+func (*B) M() {}
+
+// CallIface: interface dispatch expands to both module implementations.
+func CallIface(i I) { i.M() }
+
+// MethodValue: a bound method referenced as a value.
+func MethodValue(a A) func() {
+	return a.M
+}
+
+// Chain for FindChain: ChainA → ChainB → ChainC → Target.
+func ChainA() { ChainB() }
+func ChainB() { ChainC() }
+func ChainC() { Target() }

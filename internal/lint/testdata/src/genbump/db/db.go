@@ -1,0 +1,66 @@
+// Package db exercises the genbump analyzer: a miniature generation-
+// counted store whose exported mutators must bump DB.gen exactly once,
+// with index state defined as the field closure of the DB root.
+package db
+
+import "sync/atomic"
+
+type DB struct {
+	gen  atomic.Uint64
+	idx  map[int][]int
+	rows []row
+}
+
+type row struct {
+	cells map[int]int
+}
+
+// View is a result projection — a db-package struct that is NOT index
+// state (unreachable from DB's fields), so mutating it needs no bump.
+type View struct {
+	Preds map[int]int
+}
+
+// ok: constructors initialize pre-generation state.
+func New() *DB {
+	return &DB{idx: make(map[int][]int)}
+}
+
+// ok: mutation and bump.
+func (d *DB) Add(k, v int) {
+	d.idx[k] = append(d.idx[k], v)
+	d.gen.Add(1)
+}
+
+func (d *DB) put(k, v int) {
+	d.idx[k] = append(d.idx[k], v)
+}
+
+// The write happens in a helper; the entry point reaches it but no bump.
+func (d *DB) AddNoBump(k, v int) { // want `exported AddNoBump mutates store index state \(DB\.idx\) without bumping DB\.gen: db\.\(\*DB\)\.AddNoBump → db\.\(\*DB\)\.put \(db\.go:\d+\) writes DB\.idx`
+	d.put(k, v)
+}
+
+// Nested index state (row.cells is reachable from DB.rows) counts too.
+func (d *DB) Patch(i, k, v int) { // want `exported Patch mutates store index state \(row\.cells\) without bumping DB\.gen`
+	d.rows[i].cells[k] = v
+}
+
+// Two bumps in one entry point break the generation-delta metrics.
+func (d *DB) DoubleBump(k int) { // want `DoubleBump bumps DB\.gen 2 times in one call`
+	delete(d.idx, k)
+	d.gen.Add(1)
+	d.gen.Add(1)
+}
+
+// ok: result-view mutation is not guarded state.
+func (d *DB) Project(k int) *View {
+	v := &View{Preds: make(map[int]int)}
+	for _, x := range d.idx[k] {
+		v.Preds[x] = x
+	}
+	return v
+}
+
+// ok: read-only entry points need no bump.
+func (d *DB) Len() int { return len(d.rows) }

@@ -1,0 +1,179 @@
+// Package ld exercises the lockdiscipline analyzer: leaks, returns while
+// locked, re-entrant calls under a held lock, and the idioms that must
+// stay clean (defers, helper unlocks, early unlock-and-return,
+// goroutine-local locking, read-read nesting).
+package ld
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// ok: the canonical defer.
+func (s *S) Good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// ok: straight-line unlock.
+func (s *S) GoodInline() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// ok: early unlock before a fast-path return (the prepared-cache idiom).
+func (s *S) GoodEarly(hit bool) int {
+	s.mu.Lock()
+	if hit {
+		n := s.n
+		s.mu.Unlock()
+		return n
+	}
+	s.n++
+	s.mu.Unlock()
+	return 0
+}
+
+// ok: both switch arms rejoin before the unlock.
+func (s *S) GoodSwitch(k int) {
+	s.mu.Lock()
+	switch k {
+	case 0:
+		s.n = 0
+	default:
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) unlock() { s.mu.Unlock() }
+
+// ok: the unlock lives in a deferred helper whose summary releases it.
+func (s *S) GoodHelperUnlock() {
+	s.mu.Lock()
+	defer s.unlock()
+	s.n++
+}
+
+// ok: inline helper unlock.
+func (s *S) GoodHelperUnlockInline() {
+	s.mu.Lock()
+	s.n++
+	s.unlock()
+}
+
+// ok: deferred closure performs the unlock.
+func (s *S) GoodDeferClosure() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// ok: the goroutine is its own scope and balances its own locking.
+func (s *S) GoodGoroutine() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}()
+}
+
+func (s *S) readLocked() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// ok: read-read nesting on an RWMutex does not self-deadlock.
+func (s *S) GoodReadRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.readLocked()
+}
+
+// Leak: the lock falls off the end of the function.
+func (s *S) Leak() {
+	s.mu.Lock()
+	s.n++
+} // want `function ends with s\.mu still locked`
+
+// Return while the lock is held on one branch.
+func (s *S) ReturnLocked(flag bool) int {
+	s.mu.Lock()
+	if flag {
+		return s.n // want `returns with s\.mu still locked`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// Double acquire of the same instance.
+func (s *S) Double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu locked again while already held`
+	s.mu.Unlock()
+}
+
+// A loop body that acquires without releasing.
+func (s *S) LoopLeak(xs []int) {
+	for range xs {
+		s.mu.Lock() // want `loop body leaves s\.mu locked`
+		s.n++
+	}
+}
+
+func (s *S) addLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Direct call under the lock into a function re-acquiring the family.
+func (s *S) CallUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked() // want `call while s\.mu \(family ld\.S\.mu\) is held: ld\.\(\*S\)\.addLocked \(ld\.go:\d+\) re-acquires the same lock family`
+}
+
+func (s *S) viaHelper() { s.addLocked() }
+
+// Transitive: the re-acquisition is two frames down; the chain is printed.
+func (s *S) CallUnderLockChain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.viaHelper() // want `ld\.\(\*S\)\.viaHelper → ld\.\(\*S\)\.addLocked \(ld\.go:\d+\)`
+}
+
+// Write lock held, callee takes a read lock on the same RWMutex: deadlock
+// (Go RWMutex writers block later readers).
+func (s *S) WriteThenRead() int {
+	s.rw.Lock()
+	defer s.rw.Unlock()
+	return s.readLocked() // want `re-acquires the same lock family`
+}
+
+// ok: a local mutex balanced in-function.
+func LocalBalanced() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// A local mutex leak still reports (keyed by expression).
+func LocalLeak() {
+	var mu sync.Mutex
+	mu.Lock()
+} // want `function ends with mu still locked`
+
+// ok: an audited handoff suppressed at the report line.
+func (s *S) Handoff() {
+	s.mu.Lock()
+	//lint:ignore lockdiscipline lock intentionally handed to the caller, released via unlock()
+}

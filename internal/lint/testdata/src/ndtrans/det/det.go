@@ -1,0 +1,45 @@
+// Package det is covered by the determinism policy; the transitive check
+// must flag chains out of it that reach the wall clock.
+package det
+
+import (
+	"fix/helper"
+	"fix/obs"
+)
+
+// A one-hop chain into an unannotated sink.
+func Run() int {
+	return helper.Stamp() // want `Run reaches time\.Now through det\.Run → helper\.Stamp → time\.Now \(helper\.go:\d+\)`
+}
+
+// indirect is itself a covered function, so it is blamed at its own
+// frame (the nearest one to the sink) ...
+func indirect() int {
+	return helper.Stamp() // want `indirect reaches time\.Now through det\.indirect → helper\.Stamp → time\.Now`
+}
+
+// ... and its covered callers are NOT re-reported: chains stop at
+// covered-package boundaries instead of duplicating blame upward.
+func RunDeep() int {
+	return indirect()
+}
+
+// ok: the sink is annotated as an audited latency metric.
+func Audited() int {
+	return helper.Metric()
+}
+
+// Interface dispatch: the single module implementation reads the clock.
+func UseSource(s helper.Source) int {
+	return s.Value() // want `UseSource reaches time\.Now through det\.UseSource → helper\.\(WallClock\)\.Value → time\.Now`
+}
+
+// ok: the single implementation of Clean is deterministic.
+func UseClean(c helper.Clean) int {
+	return c.Tick()
+}
+
+// ok: the observability package is exempt.
+func Instrumented() int {
+	return obs.Observe()
+}

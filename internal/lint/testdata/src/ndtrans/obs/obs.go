@@ -1,0 +1,7 @@
+// Package obs stands in for the observability layer: exempted wholesale,
+// its clock reads never taint callers.
+package obs
+
+import "time"
+
+func Observe() int { return int(time.Now().UnixNano()) }
