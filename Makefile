@@ -7,11 +7,12 @@ GO ?= go
 # interning, exploration (feature-space range scans and engine episodes),
 # the single-store slot engine (A/B vs the legacy evaluator, planned vs
 # written join order), the federated processor (join reorderer plus an
-# end-to-end cross-source join) and the serving layer (repeat-query
+# end-to-end cross-source join), the serving layer (repeat-query
 # cold/hit pair whose ratio is the cache win, and the saturated-endpoint
-# latency). Keep this list in sync with the "Performance" section of
-# README.md.
-BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd|BenchmarkEndpointRepeatQuery(Cold|Hit)|BenchmarkEndpointSaturation)$$
+# latency) and durable recovery (snapshot reload vs the re-parse it
+# replaces — the pair whose ratio README's durability section quotes).
+# Keep this list in sync with the "Performance" section of README.md.
+BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkStoreRecover|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd|BenchmarkEndpointRepeatQuery(Cold|Hit)|BenchmarkEndpointSaturation)$$
 BENCH_GATE_PKGS = .,./internal/store,./internal/rdf,./internal/endpoint
 BENCH_COUNT    ?= 5
 # Time-based so sub-millisecond benchmarks average many iterations (one
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzParse$$'    -fuzztime 10s
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime 10s
 	$(GO) test ./internal/sparql/ -run '^$$' -fuzz '^FuzzNormalizeQuery$$' -fuzztime 10s
+	$(GO) test ./internal/store/  -run '^$$' -fuzz '^FuzzReadSnapshot$$'  -fuzztime 10s
 
 cover:
 	$(GO) test -cover ./...
@@ -82,7 +84,10 @@ lint:
 # across worker counts (seed 42), across repeat runs (seed 7), and with
 # the serving caches + admission controller on vs off (seed 42) — caches
 # must be answer- and log-invisible. Each run covers a scheduled NYTimes
-# outage window with breaker recovery asserted.
+# outage window with breaker recovery asserted. The durable pair runs DS1
+# on a snapshot+WAL data directory with mid-run kill-and-recover
+# (crash_restart) ops: those logs must be byte-identical across worker
+# counts AND fsync policies — durability must never leak into answers.
 sim-smoke:
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -quiet -oplog simlog_42_w4.log
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -quiet -oplog simlog_42_w1.log
@@ -92,13 +97,19 @@ sim-smoke:
 	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_a.log
 	$(SIM) -seed 7 -rounds $(SIM_ROUNDS) -quiet -oplog simlog_7_b.log
 	cmp simlog_7_a.log simlog_7_b.log
-	rm -f simlog_42_w4.log simlog_42_w1.log simlog_42_cache.log simlog_7_a.log simlog_7_b.log
+	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -data-dir simdur_w4 -quiet -oplog simlog_42_d4.log
+	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -data-dir simdur_w1 -wal-fsync off -quiet -oplog simlog_42_d1.log
+	cmp simlog_42_d4.log simlog_42_d1.log
+	rm -rf simdur_w4 simdur_w1
+	rm -f simlog_42_w4.log simlog_42_w1.log simlog_42_cache.log simlog_7_a.log simlog_7_b.log simlog_42_d4.log simlog_42_d1.log
 
 # The nightly soak: a longer, larger-scale run with the default mid-run
 # outage window, writing the JSON report (alexbench-compatible), a
-# Markdown summary for the CI step summary, and the full op log.
+# Markdown summary for the CI step summary, and the full op log. The soak
+# runs DS1 durably so crash_restart recovery is exercised at scale.
 sim-soak:
 	$(SIM) -seed $(SOAK_SEED) -rounds $(SOAK_ROUNDS) -ops-per-round 10 -scale 0.5 \
+	    -data-dir SIM_soak_data \
 	    -report SIM_soak.json -summary SIM_soak.md -oplog SIM_soak.log -quiet
 
 check: build vet lint test race sim-smoke

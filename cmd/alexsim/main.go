@@ -48,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 0.25, "data-set scale (1.0 = the alexbench DBpedia/NYTimes scenario)")
 	sampleEvery := fs.Int("sample-every", 16, "shadow-check every Nth read op (0 disables)")
 	cache := fs.Bool("cache", false, "serve the endpoint through the query caches and admission controller; must not change the op log")
+	dataDir := fs.String("data-dir", "", "run DS1 durably (snapshot+WAL) in this directory and crash/recover it mid-run; must not change the op log")
+	walFsync := fs.String("wal-fsync", "", "WAL fsync policy with -data-dir: batch (default), always, off")
 	outageFrom := fs.Int("outage-from", -1, "round at which the NYTimes source goes down (-1 = auto when rounds >= 20)")
 	outageTo := fs.Int("outage-to", -1, "round at which the NYTimes source recovers (-1 = auto)")
 	maxGoroutines := fs.Int("max-goroutine-growth", 0, "goroutine growth bound over baseline (0 = default)")
@@ -105,6 +107,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Scale:              *scale,
 		SampleEvery:        *sampleEvery,
 		Cache:              *cache,
+		DataDir:            *dataDir,
+		WALSync:            *walFsync,
 		Outages:            outages,
 		MaxGoroutineGrowth: *maxGoroutines,
 		MaxHeapBytes:       *maxHeap,

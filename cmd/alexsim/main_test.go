@@ -61,6 +61,31 @@ func TestSeedReproducible(t *testing.T) {
 	}
 }
 
+// TestDurableRunClean drives the CLI with -data-dir: the run attaches the
+// durable layer, crash/recovers it mid-run via the auto-weighted
+// crash_restart op, and must exit clean with crash lines in the log.
+func TestDurableRunClean(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "sim.log")
+	code, _, stderr := runSim(t,
+		"-seed", "21", "-rounds", "8", "-ops-per-round", "6", "-scale", "0.1",
+		"-quiet", "-data-dir", filepath.Join(dir, "state"), "-wal-fsync", "off",
+		"-oplog", logPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	log, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(log), "crash_restart") {
+		t.Error("durable run scheduled no crash_restart ops")
+	}
+	if strings.Contains(string(log), "equal=false") {
+		t.Error("op log records a failed recovery equivalence")
+	}
+}
+
 func TestReportAndSummaryFiles(t *testing.T) {
 	dir := t.TempDir()
 	report := filepath.Join(dir, "SIM.json")

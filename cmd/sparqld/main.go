@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +59,14 @@ type options struct {
 	retries   int
 	partialOK bool
 
+	// Durability (internal/store snapshot.go, wal.go, durable.go): when
+	// dataDir is set, the single served store runs over a snapshot+WAL
+	// pair there — cold starts load the -data file and checkpoint it,
+	// restarts recover from disk and skip the parse entirely.
+	dataDir       string
+	snapshotBytes int64 // WAL size triggering a background checkpoint; 0 = shutdown only
+	walFsync      string
+
 	// Serving-at-load settings (internal/endpoint cache.go, admission.go).
 	preparedCache int
 	resultCache   int
@@ -83,13 +92,16 @@ func main() {
 	perClient := fs.Int("per-client", 0, "max concurrent requests per client (0 = unlimited)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	dataDir := fs.String("data-dir", "", "durable data directory (snapshot + write-ahead log); restarts recover from it instead of re-parsing -data")
+	snapshotBytes := fs.Int64("snapshot", 0, "WAL size in bytes that triggers a background checkpoint (0 = checkpoint only at shutdown)")
+	walFsync := fs.String("wal-fsync", "", "WAL fsync policy with -data-dir: batch (default), always, off")
 	_ = fs.Parse(os.Args[1:])
 	if len(dataFiles) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: sparqld -data <file.nt|file.ttl> [-data <file2>] [-links <file>] [-addr :8181]")
 		os.Exit(2)
 	}
 
-	handler, err := buildHandler(options{
+	handler, cleanup, err := buildHandler(options{
 		dataFiles:     dataFiles,
 		linksFile:     *linksFile,
 		timeout:       *timeout,
@@ -101,6 +113,9 @@ func main() {
 		maxQueue:      *maxQueue,
 		perClient:     *perClient,
 		retryAfter:    *retryAfter,
+		dataDir:       *dataDir,
+		snapshotBytes: *snapshotBytes,
+		walFsync:      *walFsync,
 	}, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)
@@ -117,6 +132,12 @@ func main() {
 	stop := make(chan struct{})
 	go func() { <-shutdown; fmt.Fprintln(os.Stderr, "draining..."); close(stop) }()
 	if err := runServer(&http.Server{Handler: handler}, ln, stop, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sparqld:", err)
+		os.Exit(1)
+	}
+	// A final checkpoint folds the WAL into the snapshot, so the next
+	// start recovers from the snapshot alone.
+	if err := cleanup(); err != nil {
 		fmt.Fprintln(os.Stderr, "sparqld:", err)
 		os.Exit(1)
 	}
@@ -151,21 +172,41 @@ func runServer(srv *http.Server, ln net.Listener, stop <-chan struct{}, drain ti
 // caches (sized by opts; zero disables), and the whole handler behind the
 // admission controller when any ingress limit is set. Progress messages
 // go to logw.
-func buildHandler(opts options, logw io.Writer) (http.Handler, error) {
+//
+// The returned cleanup releases whatever the handler holds open — for a
+// durable store it checkpoints and closes the WAL — and is never nil.
+func buildHandler(opts options, logw io.Writer) (http.Handler, func() error, error) {
 	dict := rdf.NewDict()
 	reg := obs.NewRegistry()
+	cleanup := func() error { return nil }
+	cacheCfg := endpoint.CacheConfig{PreparedSize: opts.preparedCache, ResultSize: opts.resultCache}
+
+	if opts.dataDir != "" {
+		if len(opts.dataFiles) != 1 || opts.linksFile != "" {
+			return nil, nil, fmt.Errorf("-data-dir durable serving requires exactly one -data file and no -links")
+		}
+		st, cl, err := openDurable(opts, dict, reg, logw)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache := endpoint.NewQueryCache(cacheCfg, st.Generation)
+		cache.SetObserver(reg)
+		handler := endpoint.NewCachedHandler(st, cache)
+		handler.SetObserver(reg)
+		return wrapAdmission(handler, opts, reg), cl, nil
+	}
+
 	var stores []*store.Store
 	for _, path := range opts.dataFiles {
 		st, err := load(dict, path, reg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		st.SetObserver(reg)
 		fmt.Fprintf(logw, "loaded %s\n", st.Stats())
 		stores = append(stores, st)
 	}
 
-	cacheCfg := endpoint.CacheConfig{PreparedSize: opts.preparedCache, ResultSize: opts.resultCache}
 	var handler *endpoint.Handler
 	if len(stores) == 1 && opts.linksFile == "" {
 		st := stores[0]
@@ -177,7 +218,7 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, error) {
 		if opts.linksFile != "" {
 			links, err := loadLinks(dict, opts.linksFile)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			fmt.Fprintf(logw, "loaded %d sameAs links\n", links.Len())
 			federation.SetLinks(links)
@@ -201,6 +242,12 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, error) {
 		fmt.Fprintf(logw, "serving a federation of %d sources\n", len(stores))
 	}
 	handler.SetObserver(reg)
+	return wrapAdmission(handler, opts, reg), cleanup, nil
+}
+
+// wrapAdmission puts the handler behind the admission controller when any
+// ingress limit is configured.
+func wrapAdmission(handler *endpoint.Handler, opts options, reg *obs.Registry) http.Handler {
 	if opts.maxConcurrent > 0 || opts.maxQueue > 0 || opts.perClient > 0 {
 		adm := endpoint.NewAdmission(handler, endpoint.AdmissionConfig{
 			MaxConcurrent: opts.maxConcurrent,
@@ -209,28 +256,102 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, error) {
 			RetryAfter:    opts.retryAfter,
 		})
 		adm.SetObserver(reg)
-		return adm, nil
+		return adm
 	}
-	return handler, nil
+	return handler
+}
+
+// openDurable opens the single served store over its snapshot+WAL pair in
+// opts.dataDir. A restart recovers entirely from disk; a cold start (or an
+// empty directory) parses the -data file once and checkpoints it. With
+// opts.snapshotBytes > 0 a background goroutine folds the WAL into a fresh
+// snapshot whenever it outgrows that size; the returned cleanup stops it,
+// takes a final checkpoint and closes the log.
+func openDurable(opts options, dict *rdf.Dict, reg *obs.Registry, logw io.Writer) (*store.Store, func() error, error) {
+	fsync, err := store.ParseFsyncMode(opts.walFsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	rotate := opts.snapshotBytes
+	if rotate <= 0 {
+		rotate = math.MaxInt64 // shutdown-only checkpoints
+	}
+	path := opts.dataFiles[0]
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	d, err := store.OpenDurable(name, dict, store.DurableOptions{
+		Dir: opts.dataDir, Fsync: fsync, RotateBytes: rotate, Obs: reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := d.Store()
+	st.SetObserver(reg)
+	rec := d.RecoveryStats()
+	if rec.SnapshotLoaded || rec.WALRecords > 0 {
+		fmt.Fprintf(logw, "recovered %s from %s: %d snapshot triples + %d wal records (%d torn bytes)\n",
+			name, opts.dataDir, rec.SnapshotTriples, rec.WALRecords, rec.TornBytes)
+		fmt.Fprintf(logw, "loaded %s\n", st.Stats())
+	} else {
+		if err := loadInto(st, path, reg); err != nil {
+			_ = d.Close()
+			return nil, nil, err
+		}
+		fmt.Fprintf(logw, "loaded %s\n", st.Stats())
+		if err := d.Checkpoint(); err != nil {
+			_ = d.Close()
+			return nil, nil, err
+		}
+		fmt.Fprintf(logw, "checkpointed %s into %s\n", name, opts.dataDir)
+	}
+	stopRotate := make(chan struct{})
+	var rotateDone chan struct{}
+	if opts.snapshotBytes > 0 {
+		rotateDone = make(chan struct{})
+		go func() {
+			defer close(rotateDone)
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRotate:
+					return
+				case <-t.C:
+					// Errors are sticky in the WAL and surface at Close.
+					_, _ = d.MaybeRotate()
+				}
+			}
+		}()
+	}
+	return st, func() error {
+		close(stopRotate)
+		if rotateDone != nil {
+			<-rotateDone
+		}
+		return d.Close()
+	}, nil
 }
 
 func load(dict *rdf.Dict, path string, reg *obs.Registry) (*store.Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	st := store.New(name, dict)
+	if err := loadInto(st, path, reg); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func loadInto(st *store.Store, path string, reg *obs.Registry) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 	if ext := strings.ToLower(filepath.Ext(path)); ext == ".ttl" || ext == ".turtle" {
 		_, err = store.LoadTurtle(st, f, store.LoadOptions{Obs: reg})
 	} else {
 		_, err = store.LoadNTriples(st, f, store.LoadOptions{Obs: reg})
 	}
-	if err != nil {
-		return nil, err
-	}
-	return st, nil
+	return err
 }
 
 func loadLinks(dict *rdf.Dict, path string) (*linkset.Set, error) {

@@ -51,7 +51,7 @@ func get(t *testing.T, u string) (int, string) {
 func TestSingleStoreServer(t *testing.T) {
 	dbp, _, _ := writeFixtures(t, t.TempDir())
 	var log strings.Builder
-	h, err := buildHandler(options{dataFiles: []string{dbp}}, &log)
+	h, _, err := buildHandler(options{dataFiles: []string{dbp}}, &log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestSingleStoreServer(t *testing.T) {
 func TestFederatedServer(t *testing.T) {
 	dbp, nyt, links := writeFixtures(t, t.TempDir())
 	var log strings.Builder
-	h, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: links}, &log)
+	h, _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: links}, &log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,18 +123,81 @@ func TestFederatedServer(t *testing.T) {
 }
 
 func TestBuildHandlerErrors(t *testing.T) {
-	if _, err := buildHandler(options{dataFiles: []string{"/nonexistent.nt"}}, io.Discard); err == nil {
+	if _, _, err := buildHandler(options{dataFiles: []string{"/nonexistent.nt"}}, io.Discard); err == nil {
 		t.Error("missing data file not reported")
 	}
-	dbp, nyt, _ := writeFixtures(t, t.TempDir())
-	if _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: "/nonexistent.nt"}, io.Discard); err == nil {
+	dbp, nyt, links := writeFixtures(t, t.TempDir())
+	if _, _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: "/nonexistent.nt"}, io.Discard); err == nil {
 		t.Error("missing links file not reported")
+	}
+	dir := t.TempDir()
+	if _, _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: links, dataDir: dir}, io.Discard); err == nil {
+		t.Error("-data-dir with a federation not rejected")
+	}
+	if _, _, err := buildHandler(options{dataFiles: []string{dbp}, dataDir: dir, walFsync: "sometimes"}, io.Discard); err == nil {
+		t.Error("bad -wal-fsync mode not rejected")
+	}
+}
+
+// TestDurableServerRestart is the full server durability cycle: a first
+// build cold-loads the -data file and checkpoints it, serves a write via
+// the store, and its cleanup folds the WAL; a second build over the same
+// directory recovers from disk without touching -data (proven by deleting
+// the file) and serves both the original and the post-load triples.
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	dbp, _, _ := writeFixtures(t, dir)
+	dataDir := filepath.Join(dir, "state")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var log strings.Builder
+	h, cleanup, err := buildHandler(options{dataFiles: []string{dbp}, dataDir: dataDir}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "checkpointed dbpedia") {
+		t.Fatalf("cold start did not checkpoint: %q", log.String())
+	}
+	srv := httptest.NewServer(h)
+	code, body := get(t, srv.URL+"/sparql?query="+url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }"))
+	if code != http.StatusOK || !strings.Contains(body, "http://dbp/LeBron") {
+		t.Fatalf("first server query = %d: %s", code, body)
+	}
+	srv.Close()
+	if err := cleanup(); err != nil {
+		t.Fatalf("cleanup: %v", err)
+	}
+
+	// The restart must not need the original file.
+	if err := os.Remove(dbp); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	h2, cleanup2, err := buildHandler(options{dataFiles: []string{dbp}, dataDir: dataDir}, &log)
+	if err != nil {
+		t.Fatalf("restart over the data dir: %v", err)
+	}
+	defer func() {
+		if err := cleanup2(); err != nil {
+			t.Errorf("cleanup after restart: %v", err)
+		}
+	}()
+	if !strings.Contains(log.String(), "recovered dbpedia") {
+		t.Fatalf("restart did not recover from disk: %q", log.String())
+	}
+	srv2 := httptest.NewServer(h2)
+	defer srv2.Close()
+	code, body = get(t, srv2.URL+"/sparql?query="+url.QueryEscape("SELECT ?s WHERE { ?s ?p ?o }"))
+	if code != http.StatusOK || !strings.Contains(body, "http://dbp/LeBron") {
+		t.Fatalf("recovered server query = %d: %s", code, body)
 	}
 }
 
 func TestBadQueryGets400(t *testing.T) {
 	dbp, _, _ := writeFixtures(t, t.TempDir())
-	h, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
+	h, _, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +242,7 @@ func slowQuery(t *testing.T, baseURL string) (finish func(), done <-chan int) {
 // pinned query completes.
 func TestSaturationSheds503(t *testing.T) {
 	dbp, _, _ := writeFixtures(t, t.TempDir())
-	h, err := buildHandler(options{
+	h, _, err := buildHandler(options{
 		dataFiles:     []string{dbp},
 		maxConcurrent: 1,
 		retryAfter:    2 * time.Second,
@@ -237,7 +300,7 @@ func TestSaturationSheds503(t *testing.T) {
 // and runServer returns cleanly within the drain budget.
 func TestGracefulDrain(t *testing.T) {
 	dbp, _, _ := writeFixtures(t, t.TempDir())
-	h, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
+	h, _, err := buildHandler(options{dataFiles: []string{dbp}}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +369,7 @@ func TestGracefulDrain(t *testing.T) {
 // /metrics carries every serving-at-load series from the obs registry.
 func TestMetricsExposeServingNames(t *testing.T) {
 	dbp, _, _ := writeFixtures(t, t.TempDir())
-	h, err := buildHandler(options{
+	h, _, err := buildHandler(options{
 		dataFiles:     []string{dbp},
 		preparedCache: 64,
 		resultCache:   64,

@@ -140,9 +140,39 @@ const (
 	SimFeedbackEpisodes = "sim.feedback.episodes"
 )
 
+// Store durability: snapshot + write-ahead log (internal/store wal.go,
+// snapshot.go, durable.go).
+const (
+	// StoreSnapshotLoads counts snapshot restores performed by durable
+	// opens.
+	StoreSnapshotLoads = "store.snapshot.loads"
+	// StoreSnapshotLoadTriples counts triples restored from snapshots.
+	StoreSnapshotLoadTriples = "store.snapshot.load_triples"
+	// StoreSnapshotWrites counts checkpoint snapshot writes.
+	StoreSnapshotWrites = "store.snapshot.writes"
+	// StoreSnapshotWriteBytes counts bytes written by checkpoint
+	// snapshots.
+	StoreSnapshotWriteBytes = "store.snapshot.write_bytes"
+	// StoreWALAppends counts records appended to the write-ahead log.
+	StoreWALAppends = "store.wal.appends"
+	// StoreWALAppendBytes counts bytes appended to the write-ahead log.
+	StoreWALAppendBytes = "store.wal.append_bytes"
+	// StoreWALFsyncs counts fsync calls issued by the log's fsync policy.
+	StoreWALFsyncs = "store.wal.fsyncs"
+	// StoreWALReplayRecords counts log records replayed during recovery.
+	StoreWALReplayRecords = "store.wal.replay_records"
+	// StoreWALRotations counts size-triggered log rotations into
+	// snapshots.
+	StoreWALRotations = "store.wal.rotations"
+	// StoreWALTruncatedBytes counts torn-tail bytes truncated during
+	// recovery.
+	StoreWALTruncatedBytes = "store.wal.truncated_bytes"
+)
+
 // SimOpNS names the per-operation-kind latency histogram of the traffic
 // simulator (kinds: select_entity, ask_entity, fed_join, fed_ask,
-// repeat_query, mutate_reread, feedback, bulk_load, outage_toggle).
+// repeat_query, mutate_reread, feedback, bulk_load, outage_toggle,
+// crash_restart).
 func SimOpNS(kind string) string { return "sim.op." + kind + ".ns" }
 
 // FedSourceMatchNS names the per-source match-latency histogram.
@@ -228,6 +258,16 @@ func MetricNames() []string {
 		SimRounds,
 		SparqlPlanReorders,
 		SparqlRowsMaterialized,
+		StoreSnapshotLoadTriples,
+		StoreSnapshotLoads,
+		StoreSnapshotWriteBytes,
+		StoreSnapshotWrites,
+		StoreWALAppendBytes,
+		StoreWALAppends,
+		StoreWALFsyncs,
+		StoreWALReplayRecords,
+		StoreWALRotations,
+		StoreWALTruncatedBytes,
 	}
 }
 

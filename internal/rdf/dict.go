@@ -1,6 +1,8 @@
 package rdf
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -91,6 +93,32 @@ func (ts *termStore) append(t Term) TermID {
 	return TermID(n)
 }
 
+// appendAll stores every term under one lock and returns the id assigned
+// to terms[0]; the rest follow consecutively. It grows all needed blocks
+// up front, so the per-term work is one array store.
+func (ts *termStore) appendAll(terms []Term) TermID {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n := ts.n.Load()
+	blocks := *ts.blocks.Load()
+	need := (int(n) + len(terms) + termBlockMask) >> termBlockBits
+	if need > len(blocks) {
+		grown := make([]*termBlock, need)
+		copy(grown, blocks)
+		for i := len(blocks); i < need; i++ {
+			grown[i] = new(termBlock)
+		}
+		ts.blocks.Store(&grown)
+		blocks = grown
+	}
+	for i := range terms {
+		at := n + int64(i)
+		blocks[at>>termBlockBits][at&termBlockMask] = terms[i]
+	}
+	ts.n.Store(n + int64(len(terms)))
+	return TermID(n)
+}
+
 // get returns the term at id; ok is false past the published length.
 func (ts *termStore) get(id TermID) (Term, bool) {
 	n := ts.n.Load()
@@ -133,6 +161,172 @@ func (d *Dict) Intern(t Term) TermID {
 	id = d.terms.append(t)
 	sh.byKey[k] = id
 	return id
+}
+
+// Grow pre-sizes the shard key maps for roughly n additional terms so a
+// bulk load does not pay for incremental map rehashing. Only empty shards
+// are resized — Grow never throws away existing entries — so it is a
+// no-op on a dictionary that is already populated.
+func (d *Dict) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	per := n/dictShards + 1
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		if len(sh.byKey) == 0 {
+			sh.byKey = make(map[string]TermID, per)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// InternAll interns every term and returns the assigned ids in input
+// order. It computes each key once and takes each shard lock once for the
+// whole batch, which makes it much cheaper than per-term Intern for large
+// bulk loads (the snapshot restore path). The per-shard check-then-insert
+// discipline is the same as Intern's, so racing callers remain safe.
+func (d *Dict) InternAll(terms []Term) []TermID {
+	ids := make([]TermID, len(terms))
+	// All keys are built into one buffer and sliced out of a single string
+	// conversion — two allocations for the batch instead of one per term.
+	// The byKey maps pin the batch string; the interned terms reference the
+	// same field memory anyway, so nothing outlives what must live.
+	size := 0
+	for i := range terms {
+		size += 1 + len(terms[i].Value) + len(terms[i].Datatype) + len(terms[i].Lang) + 15
+	}
+	var b strings.Builder
+	b.Grow(size)
+	scratch := make([]byte, 0, 256)
+	offs := make([]int32, len(terms)+1)
+	for i := range terms {
+		scratch = AppendTermBinary(scratch[:0], terms[i])
+		b.Write(scratch)
+		offs[i+1] = int32(b.Len())
+	}
+	all := b.String()
+	var order [dictShards][]int32
+	for i := range terms {
+		s := shardOf(all[offs[i]:offs[i+1]])
+		order[s] = append(order[s], int32(i))
+	}
+	// Misses are appended to the term store in one bulk call per shard
+	// instead of one mutex acquisition per term. Until the batch's base id
+	// is known, a miss gets a placeholder id (top bit set, encoding its
+	// index in the pending list); an in-batch duplicate finds the
+	// placeholder in byKey, so each distinct term is still assigned exactly
+	// one id. Both maps are fixed up before the shard lock is released.
+	const pendingBit = TermID(1) << 31
+	var pendTerms []Term
+	var pendKeys []string
+	for s := range order {
+		batch := order[s]
+		if len(batch) == 0 {
+			continue
+		}
+		pendTerms, pendKeys = pendTerms[:0], pendKeys[:0]
+		sh := &d.shards[s]
+		sh.mu.Lock()
+		for _, i := range batch {
+			k := all[offs[i]:offs[i+1]]
+			id, ok := sh.byKey[k]
+			if !ok {
+				id = pendingBit | TermID(len(pendTerms))
+				sh.byKey[k] = id
+				pendTerms = append(pendTerms, terms[i])
+				pendKeys = append(pendKeys, k)
+			}
+			ids[i] = id
+		}
+		if len(pendTerms) > 0 {
+			base := d.terms.appendAll(pendTerms)
+			for j, k := range pendKeys {
+				sh.byKey[k] = base + TermID(j)
+			}
+			for _, i := range batch {
+				if ids[i]&pendingBit != 0 {
+					ids[i] = base + (ids[i] &^ pendingBit)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return ids
+}
+
+// BulkInternEncoded interns a whole block of binary-encoded terms (see
+// AppendTermBinary) into an EMPTY dictionary, assigning ids 1..n in
+// encoding order. It reports false — touching nothing — when the
+// dictionary already holds terms, and the caller falls back to the
+// general path. Because a term's intern key IS its binary encoding,
+// decoding goes straight into the term store and the keys alias block's
+// memory: the whole block costs no per-term allocation and no key
+// lookups. This is what makes snapshot recovery into a fresh dictionary
+// an array-building exercise. A malformed block, a duplicate term or
+// trailing bytes return an error; the already-interned prefix stays
+// fully consistent (every published id resolves, every key maps to a
+// published id).
+func (d *Dict) BulkInternEncoded(block string, n int) (bool, error) {
+	// Lock order everywhere is shard (any) → termStore, so holding all
+	// shards here and appending below cannot deadlock with Intern.
+	for i := range d.shards {
+		//lint:ignore lockdiscipline all shards are acquired across iterations on purpose and released together by the deferred unlock loop below
+		d.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range d.shards {
+			d.shards[i].mu.Unlock()
+		}
+	}()
+	ts := &d.terms
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.n.Load() != 1 {
+		return false, nil
+	}
+	per := n/dictShards + 1
+	for i := range d.shards {
+		d.shards[i].byKey = make(map[string]TermID, per)
+	}
+	blocks := *ts.blocks.Load()
+	need := (1 + n + termBlockMask) >> termBlockBits
+	if need > len(blocks) {
+		grown := make([]*termBlock, need)
+		copy(grown, blocks)
+		for i := len(blocks); i < need; i++ {
+			grown[i] = new(termBlock)
+		}
+		ts.blocks.Store(&grown)
+		blocks = grown
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		t, adv, err := decodeTermAny(block[off:])
+		if err != nil {
+			ts.n.Store(int64(i) + 1)
+			return true, fmt.Errorf("rdf: bulk intern term %d: %w", i, err)
+		}
+		at := int64(i) + 1
+		blocks[at>>termBlockBits][at&termBlockMask] = t
+		k := block[off : off+adv]
+		off += adv
+		sh := &d.shards[shardOf(k)]
+		before := len(sh.byKey)
+		sh.byKey[k] = TermID(at)
+		if len(sh.byKey) == before {
+			// k now maps to this term's id; publish through it so the
+			// mapping resolves, then reject the block.
+			ts.n.Store(at + 1)
+			return true, fmt.Errorf("rdf: bulk intern term %d: duplicate term", i)
+		}
+	}
+	ts.n.Store(int64(n) + 1)
+	if off != len(block) {
+		return true, fmt.Errorf("rdf: bulk intern: %d trailing bytes after %d terms", len(block)-off, n)
+	}
+	return true, nil
 }
 
 // InternIRI interns an IRI term given its string.

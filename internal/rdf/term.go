@@ -9,7 +9,6 @@
 package rdf
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -195,24 +194,17 @@ func quoteLiteral(v string) string {
 	return b.String()
 }
 
-// key returns an injective map key for interning: a kind discriminator
-// followed by length-prefixed fields, so no choice of field contents (even
-// with embedded separators) can collide.
+// key returns an injective map key for interning: exactly the binary term
+// encoding (AppendTermBinary) — a kind discriminator followed by
+// length-prefixed fields, so no choice of field contents (even with
+// embedded separators) can collide. Sharing the codec's byte layout lets
+// Dict.BulkInternEncoded use slices of an encoded term block as
+// ready-made keys. It relies on the constructor invariant that
+// non-literals carry empty Datatype and Lang (the codec does not encode
+// them).
 func (t Term) key() string {
-	var b strings.Builder
-	b.Grow(len(t.Value) + len(t.Datatype) + len(t.Lang) + 16)
-	b.WriteByte(byte('0' + t.Kind))
-	writeLenPrefixed(&b, t.Value)
-	writeLenPrefixed(&b, t.Datatype)
-	writeLenPrefixed(&b, t.Lang)
-	return b.String()
-}
-
-func writeLenPrefixed(b *strings.Builder, s string) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(len(s)))
-	b.Write(buf[:n])
-	b.WriteString(s)
+	buf := make([]byte, 0, len(t.Value)+len(t.Datatype)+len(t.Lang)+16)
+	return string(AppendTermBinary(buf, t))
 }
 
 // Triple is a subject-predicate-object statement over materialized terms.

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.snap from the current writer")
+
+// goldenStore is the fixed fixture content: every term kind, a retraction
+// (so tombstone compaction is part of the fixture) and a duplicate add.
+func goldenStore() *Store {
+	s := New("golden", rdf.NewDict())
+	for i := 0; i < 12; i++ {
+		s.Add(tri(fmt.Sprintf("e%d", i%5), fmt.Sprintf("p%d", i%3), fmt.Sprintf("v%d", i)))
+	}
+	s.Add(triIRI("e0", "link", "e1"))
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://x/e1"), P: rdf.NewIRI("http://x/label"), O: rdf.NewLangString("eins", "de")})
+	s.Add(rdf.Triple{S: rdf.NewBlank("b0"), P: rdf.NewIRI("http://x/count"), O: rdf.NewTyped("7", rdf.XSDInteger)})
+	s.Add(tri("e0", "p0", "v0")) // duplicate: ignored
+	s.Retract(tri("e2", "p2", "v2"))
+	return s
+}
+
+// TestGoldenSnapshot is the format-compatibility gate: HEAD must still
+// open the committed fixture, and HEAD's writer must still produce its
+// exact bytes — so any encoding change, version bump included, fails
+// until the fixture is regenerated (go test ./internal/store/ -run
+// TestGoldenSnapshot -update) and the change is documented in FORMAT.md.
+func TestGoldenSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "golden.snap")
+	var buf bytes.Buffer
+	if err := goldenStore().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if got := binary.LittleEndian.Uint16(want[8:10]); got != snapshotVersion {
+		t.Fatalf("fixture is format version %d, code reads version %d: regenerate the fixture and add a FORMAT.md note", got, snapshotVersion)
+	}
+	st, err := ReadSnapshot(bytes.NewReader(want), rdf.NewDict())
+	if err != nil {
+		t.Fatalf("HEAD cannot open the committed golden snapshot: %v", err)
+	}
+	if got, ref := st.Len(), goldenStore().Len(); got != ref {
+		t.Errorf("fixture decoded to %d triples, want %d", got, ref)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot encoding changed: writer output (%d bytes) differs from the committed fixture (%d bytes); bump the format deliberately — regenerate with -update and document it in FORMAT.md", buf.Len(), len(want))
+	}
+}
+
+// TestSnapshotFormatNote keeps FORMAT.md honest: the current version must
+// have a section there, so a silent version bump cannot land without a
+// format note.
+func TestSnapshotFormatNote(t *testing.T) {
+	b, err := os.ReadFile("FORMAT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("## Version %d", snapshotVersion)
+	if !strings.Contains(string(b), want) {
+		t.Fatalf("FORMAT.md lacks a %q section: document the format before shipping it", want)
+	}
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"alex/internal/rdf"
+)
+
+// Segment iterators over snapshots, in the style of regen-ledger's
+// orm/iterator.go: a LoadNext/Close pair with the ErrIteratorDone
+// sentinel, and small combinators — limit, offset, pagination, keyed
+// filtering — that compose over any TripleIterator. Reload is thereby a
+// sequential segment read: no re-parse, no full materialization.
+
+// ErrIteratorDone is returned by LoadNext when the iterator is exhausted
+// or closed.
+var ErrIteratorDone = errors.New("store: iterator done")
+
+// TripleIterator yields materialized triples one at a time. LoadNext
+// fills dst and returns nil, or returns ErrIteratorDone past the end; any
+// other error is a decode failure. Close releases the underlying decoder
+// state; LoadNext after Close returns ErrIteratorDone.
+type TripleIterator interface {
+	LoadNext(dst *rdf.Triple) error
+	Close() error
+}
+
+// SnapshotIterator streams a snapshot's triples in insertion order,
+// decoding one checksummed segment at a time — memory stays bounded by
+// the segment size however large the snapshot.
+type SnapshotIterator struct {
+	dec    *snapDecoder
+	raw    []byte
+	rows   int
+	idx    int
+	closed bool
+}
+
+// OpenSnapshotIterator validates the snapshot prelude (magic, version,
+// header and dict checksums) and returns an iterator positioned before
+// the first triple.
+func OpenSnapshotIterator(r io.Reader) (*SnapshotIterator, error) {
+	dec, err := newSnapDecoder(r)
+	if err == nil {
+		err = dec.decodeTerms()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening snapshot iterator: %w", err)
+	}
+	return &SnapshotIterator{dec: dec}, nil
+}
+
+// Header returns the decoded snapshot header.
+func (it *SnapshotIterator) Header() SnapshotHeader { return it.dec.hdr }
+
+// LoadNext fills dst with the next triple.
+func (it *SnapshotIterator) LoadNext(dst *rdf.Triple) error {
+	if it.closed {
+		return ErrIteratorDone
+	}
+	for it.idx >= it.rows {
+		raw, n, err := it.dec.nextSegment()
+		if err == io.EOF {
+			it.closed = true
+			return ErrIteratorDone
+		}
+		if err != nil {
+			return err
+		}
+		it.raw, it.rows, it.idx = raw, n, 0
+	}
+	off := it.idx * 12
+	// Local ids were range-checked by the decoder.
+	dst.S = it.dec.terms[binary.LittleEndian.Uint32(it.raw[off:])-1]
+	dst.P = it.dec.terms[binary.LittleEndian.Uint32(it.raw[off+4:])-1]
+	dst.O = it.dec.terms[binary.LittleEndian.Uint32(it.raw[off+8:])-1]
+	it.idx++
+	return nil
+}
+
+// Close marks the iterator exhausted. It does not close the underlying
+// reader, which the caller owns.
+func (it *SnapshotIterator) Close() error {
+	it.closed = true
+	return nil
+}
+
+// limitIterator yields at most limit triples.
+type limitIterator struct {
+	it        TripleIterator
+	remaining int
+}
+
+// LimitIterator caps it at limit triples; a non-positive limit yields
+// nothing.
+func LimitIterator(it TripleIterator, limit int) TripleIterator {
+	return &limitIterator{it: it, remaining: limit}
+}
+
+func (l *limitIterator) LoadNext(dst *rdf.Triple) error {
+	if l.remaining <= 0 {
+		return ErrIteratorDone
+	}
+	err := l.it.LoadNext(dst)
+	if err == nil {
+		l.remaining--
+	}
+	return err
+}
+
+func (l *limitIterator) Close() error { return l.it.Close() }
+
+// offsetIterator skips the first offset triples.
+type offsetIterator struct {
+	it   TripleIterator
+	skip int
+}
+
+// OffsetIterator skips the first offset triples of it.
+func OffsetIterator(it TripleIterator, offset int) TripleIterator {
+	return &offsetIterator{it: it, skip: offset}
+}
+
+func (o *offsetIterator) LoadNext(dst *rdf.Triple) error {
+	for o.skip > 0 {
+		if err := o.it.LoadNext(dst); err != nil {
+			return err
+		}
+		o.skip--
+	}
+	return o.it.LoadNext(dst)
+}
+
+func (o *offsetIterator) Close() error { return o.it.Close() }
+
+// PaginateIterator composes offset and limit: page p of size n is
+// PaginateIterator(it, p*n, n).
+func PaginateIterator(it TripleIterator, offset, limit int) TripleIterator {
+	return LimitIterator(OffsetIterator(it, offset), limit)
+}
+
+// keyedIterator filters by a triple pattern.
+type keyedIterator struct {
+	it      TripleIterator
+	s, p, o rdf.Term
+}
+
+// KeyedIterator yields only the triples matching the pattern; a zero
+// Term in any position is a wildcard. Combined with Limit/Offset this
+// gives paginated keyed scans straight off a snapshot.
+func KeyedIterator(it TripleIterator, subj, pred, obj rdf.Term) TripleIterator {
+	return &keyedIterator{it: it, s: subj, p: pred, o: obj}
+}
+
+func (k *keyedIterator) LoadNext(dst *rdf.Triple) error {
+	for {
+		if err := k.it.LoadNext(dst); err != nil {
+			return err
+		}
+		if !k.s.IsZero() && dst.S != k.s {
+			continue
+		}
+		if !k.p.IsZero() && dst.P != k.p {
+			continue
+		}
+		if !k.o.IsZero() && dst.O != k.o {
+			continue
+		}
+		return nil
+	}
+}
+
+func (k *keyedIterator) Close() error { return k.it.Close() }
+
+// CollectTriples drains it into a slice and closes it. Mostly a test and
+// tooling convenience; production reload streams instead.
+func CollectTriples(it TripleIterator) ([]rdf.Triple, error) {
+	defer func() { _ = it.Close() }()
+	var out []rdf.Triple
+	for {
+		var t rdf.Triple
+		err := it.LoadNext(&t)
+		if errors.Is(err, ErrIteratorDone) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}

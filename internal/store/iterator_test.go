@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+// iterStore builds a store spanning multiple snapshot segments so the
+// iterator's segment-boundary handling is exercised.
+func iterStore(t *testing.T, n int) (*Store, []rdf.Triple) {
+	t.Helper()
+	s := New("iter", rdf.NewDict())
+	ids := make([]rdf.TripleID, 0, n)
+	want := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		tr := rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", i%997)),
+			P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", i%7)),
+			O: rdf.NewString(fmt.Sprintf("v%d", i)),
+		}
+		ids = append(ids, rdf.TripleID{
+			S: s.Dict().Intern(tr.S), P: s.Dict().Intern(tr.P), O: s.Dict().Intern(tr.O),
+		})
+		want = append(want, tr)
+	}
+	if got := s.AddIDs(ids); got != n {
+		t.Fatalf("AddIDs added %d, want %d", got, n)
+	}
+	return s, want
+}
+
+func openIter(t *testing.T, s *Store) *SnapshotIterator {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	it, err := OpenSnapshotIterator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestSnapshotIteratorStreamsAllSegments(t *testing.T) {
+	const n = snapshotSegmentSize*2 + 137
+	s, want := iterStore(t, n)
+	it := openIter(t, s)
+	hdr := it.Header()
+	if hdr.Name != "iter" || hdr.Triples != n || hdr.SegmentSize != snapshotSegmentSize || hdr.Version != snapshotVersion {
+		t.Fatalf("header %+v", hdr)
+	}
+	got, err := CollectTriples(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("collected %d triples, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Exhausted and closed: LoadNext keeps returning the sentinel.
+	var tr rdf.Triple
+	if err := it.LoadNext(&tr); !errors.Is(err, ErrIteratorDone) {
+		t.Fatalf("LoadNext after drain: %v", err)
+	}
+}
+
+func TestIteratorLimitOffsetPaginate(t *testing.T) {
+	s, want := iterStore(t, 100)
+	collect := func(it TripleIterator) []rdf.Triple {
+		out, err := CollectTriples(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := collect(LimitIterator(openIter(t, s), 7)); len(got) != 7 || got[0] != want[0] {
+		t.Fatalf("limit 7: %d triples", len(got))
+	}
+	if got := collect(LimitIterator(openIter(t, s), 0)); len(got) != 0 {
+		t.Fatalf("limit 0: %d triples", len(got))
+	}
+	if got := collect(OffsetIterator(openIter(t, s), 95)); len(got) != 5 || got[0] != want[95] {
+		t.Fatalf("offset 95: %d triples", len(got))
+	}
+	if got := collect(OffsetIterator(openIter(t, s), 1000)); len(got) != 0 {
+		t.Fatalf("offset past end: %d triples", len(got))
+	}
+	// Page 3 of size 10 is rows 30..39.
+	got := collect(PaginateIterator(openIter(t, s), 30, 10))
+	if len(got) != 10 || got[0] != want[30] || got[9] != want[39] {
+		t.Fatalf("paginate(30,10): %d triples, first %v", len(got), got[0])
+	}
+}
+
+func TestIteratorKeyed(t *testing.T) {
+	s, want := iterStore(t, 200)
+	pred := rdf.NewIRI("http://x/p3")
+	var expect []rdf.Triple
+	for _, tr := range want {
+		if tr.P == pred {
+			expect = append(expect, tr)
+		}
+	}
+	got, err := CollectTriples(KeyedIterator(openIter(t, s), rdf.Term{}, pred, rdf.Term{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("keyed by predicate: %d triples, want %d", len(got), len(expect))
+	}
+	for i := range got {
+		if got[i] != expect[i] {
+			t.Fatalf("keyed triple %d: got %v, want %v", i, got[i], expect[i])
+		}
+	}
+	// Keyed + pagination composition: second pair of predicate matches.
+	page, err := CollectTriples(PaginateIterator(KeyedIterator(openIter(t, s), rdf.Term{}, pred, rdf.Term{}), 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0] != expect[2] || page[1] != expect[3] {
+		t.Fatalf("keyed page: %v", page)
+	}
+	// Fully bound pattern.
+	one, err := CollectTriples(KeyedIterator(openIter(t, s), want[42].S, want[42].P, want[42].O))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != want[42] {
+		t.Fatalf("bound pattern: %v", one)
+	}
+}
+
+func TestIteratorCloseEarly(t *testing.T) {
+	s, _ := iterStore(t, 50)
+	it := openIter(t, s)
+	var tr rdf.Triple
+	if err := it.LoadNext(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.LoadNext(&tr); !errors.Is(err, ErrIteratorDone) {
+		t.Fatalf("LoadNext after Close: %v", err)
+	}
+}
+
+func TestIteratorEmptySnapshot(t *testing.T) {
+	s := New("empty", rdf.NewDict())
+	got, err := CollectTriples(openIter(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty snapshot yielded %d triples", len(got))
+	}
+}

@@ -127,8 +127,9 @@ type Store struct {
 	// ids start at 1), which index reads never see (their positions are
 	// removed) and full scans skip.
 	triples []rdf.TripleID
-	// present maps each live triple to its position in triples.
-	present map[rdf.TripleID]int32
+	// present maps each live triple to its position in triples (a flat
+	// open-addressing table; see tripleset.go).
+	present *tripleSet
 	ixSubj  *tripleIndex
 	ixPred  *tripleIndex
 	ixObj   *tripleIndex
@@ -154,6 +155,11 @@ type Store struct {
 	// reg is the attached registry (nil when detached), used by the bulk
 	// loaders to resolve their load.parallel.* instruments.
 	reg *obs.Registry
+
+	// wal, when attached by a Durable, receives one checksummed record per
+	// effective mutation before the index write (see wal.go). Mutators read
+	// it under mu, so attach/detach (setWAL) serializes with them.
+	wal *walWriter
 }
 
 // New returns an empty store named name over dict. The name identifies the
@@ -162,7 +168,7 @@ func New(name string, dict *rdf.Dict) *Store {
 	return &Store{
 		name:    name,
 		dict:    dict,
-		present: make(map[rdf.TripleID]int32),
+		present: newTripleSet(0),
 		ixSubj:  newTripleIndex(),
 		ixPred:  newTripleIndex(),
 		ixObj:   newTripleIndex(),
@@ -193,6 +199,14 @@ func (s *Store) SetObserver(reg *obs.Registry) {
 // Dict returns the term dictionary shared by this store.
 func (s *Store) Dict() *rdf.Dict { return s.dict }
 
+// setWAL attaches (or, with nil, detaches) the write-ahead log. Taking the
+// write lock serializes the swap against in-flight mutators.
+func (s *Store) setWAL(w *walWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+}
+
 // Add interns and inserts a triple. Duplicate triples are ignored; the
 // return reports whether the triple was newly added.
 func (s *Store) Add(t rdf.Triple) bool {
@@ -207,12 +221,15 @@ func (s *Store) Add(t rdf.Triple) bool {
 func (s *Store) AddID(t rdf.TripleID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.present[t]; dup {
+	if _, dup := s.present.get(t); dup {
 		return false
+	}
+	if s.wal != nil {
+		s.wal.logOne(walOpAdd, t)
 	}
 	pos := int32(len(s.triples))
 	s.triples = append(s.triples, t)
-	s.present[t] = pos
+	s.present.put(t, pos)
 	if s.ixSubj.get(t.S) == nil {
 		s.subjects = append(s.subjects, t.S)
 	}
@@ -220,7 +237,7 @@ func (s *Store) AddID(t rdf.TripleID) bool {
 	s.ixPred.add(t.P, pos)
 	s.ixObj.add(t.O, pos)
 	s.gen.Add(1)
-	s.triplesOut.Set(int64(len(s.present)))
+	s.triplesOut.Set(int64(s.present.Len()))
 	return true
 }
 
@@ -249,11 +266,14 @@ func (s *Store) Retract(t rdf.Triple) bool {
 func (s *Store) RetractID(t rdf.TripleID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pos, ok := s.present[t]
+	pos, ok := s.present.get(t)
 	if !ok {
 		return false
 	}
-	delete(s.present, t)
+	if s.wal != nil {
+		s.wal.logOne(walOpRetract, t)
+	}
+	s.present.del(t)
 	s.triples[pos] = rdf.TripleID{}
 	s.ixSubj.remove(t.S, pos)
 	s.ixPred.remove(t.P, pos)
@@ -269,7 +289,7 @@ func (s *Store) RetractID(t rdf.TripleID) bool {
 		}
 	}
 	s.gen.Add(1)
-	s.triplesOut.Set(int64(len(s.present)))
+	s.triplesOut.Set(int64(s.present.Len()))
 	return true
 }
 
@@ -292,14 +312,33 @@ const bulkIndexThreshold = 4096
 func (s *Store) AddIDs(ids []rdf.TripleID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wal != nil && len(ids) > 0 {
+		// Logged pre-dedup: replay re-runs the same dedup, so the effective
+		// inserts — and whether the batch bumps the generation — match.
+		s.wal.logBatch(ids)
+	}
+	added := s.addIDsLocked(ids)
+	if added == 0 {
+		return 0
+	}
+	s.gen.Add(1)
+	s.triplesOut.Set(int64(s.present.Len()))
+	return added
+}
+
+// addIDsLocked is the insertion core of AddIDs: dedup, position
+// assignment, subject first-sight and index population. The caller holds
+// the write lock (or owns the store exclusively, as snapshot restore
+// does) and is responsible for the generation bump and gauges.
+func (s *Store) addIDsLocked(ids []rdf.TripleID) int {
 	base := int32(len(s.triples))
 	// Serial phase: dedup and position assignment, which fix the insertion
 	// order everything downstream (Match order, snapshots) depends on.
 	for _, t := range ids {
-		if _, dup := s.present[t]; dup {
+		if _, dup := s.present.get(t); dup {
 			continue
 		}
-		s.present[t] = int32(len(s.triples))
+		s.present.put(t, int32(len(s.triples)))
 		s.triples = append(s.triples, t)
 	}
 	added := s.triples[base:]
@@ -360,8 +399,6 @@ func (s *Store) AddIDs(ids []rdf.TripleID) int {
 		}
 		wg.Wait()
 	}
-	s.gen.Add(1)
-	s.triplesOut.Set(int64(len(s.present)))
 	return len(added)
 }
 
@@ -369,7 +406,7 @@ func (s *Store) AddIDs(ids []rdf.TripleID) int {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.present)
+	return s.present.Len()
 }
 
 // Contains reports whether the exact triple is present.
@@ -388,7 +425,7 @@ func (s *Store) Contains(t rdf.Triple) bool {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, found := s.present[rdf.TripleID{S: sID, P: pID, O: oID}]
+	_, found := s.present.get(rdf.TripleID{S: sID, P: pID, O: oID})
 	return found
 }
 
@@ -410,7 +447,7 @@ func (s *Store) Match(subj, pred, obj rdf.TermID) []rdf.TripleID {
 		candidates = s.ixPred.get(pred)
 	default:
 		s.probeScan.Inc()
-		out := make([]rdf.TripleID, 0, len(s.present))
+		out := make([]rdf.TripleID, 0, s.present.Len())
 		for _, t := range s.triples {
 			if t == (rdf.TripleID{}) {
 				continue // retraction tombstone
@@ -549,7 +586,7 @@ func (s *Store) MatchEach(subj, pred, obj rdf.TermID, fn func(rdf.TripleID)) {
 			}
 			fn(t)
 		}
-		s.matchRows.Add(int64(len(s.present)))
+		s.matchRows.Add(int64(s.present.Len()))
 		return
 	}
 	n := int64(0)
@@ -617,7 +654,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.RUnlock()
 	return Stats{
 		Name:       s.name,
-		Triples:    len(s.present),
+		Triples:    s.present.Len(),
 		Subjects:   len(s.subjects),
 		Predicates: s.ixPred.keyCount(),
 	}

@@ -1,0 +1,139 @@
+package store
+
+import "alex/internal/rdf"
+
+// tripleSet maps each live triple to its position in the insertion log.
+// It replaces a map[rdf.TripleID]int32 on the store's hottest write path:
+// an open-addressing table with linear probing over flat 16-byte slots.
+// The slot array holds no pointers, so the GC never scans it, and inserts
+// touch one cache line instead of the builtin map's group metadata —
+// snapshot recovery and bulk load spend a large share of their time on
+// exactly this dedup/position table.
+//
+// Concurrency contract is the caller's, same as the map it replaced:
+// every access happens under Store.mu.
+type tripleSet struct {
+	// slots[i].n is 0 for an empty slot, -1 for a tombstone, pos+1 for a
+	// live entry. The zero slot value means empty, so a fresh table needs
+	// no initialization pass. Tombstones zero the triple so no real key
+	// (dict ids start at 1, a live triple is never all-zero) can match one.
+	slots []tripleSlot
+	mask  uint32
+	live  int
+	dead  int // tombstones, reclaimed on the next grow
+}
+
+type tripleSlot struct {
+	t rdf.TripleID
+	n int32
+}
+
+// newTripleSet sizes the table so capHint live entries stay under the 3/4
+// load factor that keeps probe chains short.
+func newTripleSet(capHint int) *tripleSet {
+	size := uint32(16)
+	for int(size)*3 < capHint*4 {
+		size <<= 1
+	}
+	return &tripleSet{slots: make([]tripleSlot, size), mask: size - 1}
+}
+
+// hash mixes the three term ids; the multiply-xor finalizer avalanches
+// well enough that sequential dict ids spread across the table.
+func (ts *tripleSet) hash(t rdf.TripleID) uint32 {
+	h := uint64(t.S)*0x9E3779B185EBCA87 ^ uint64(t.P)*0xC2B2AE3D27D4EB4F ^ uint64(t.O)*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// get returns the position of t and whether it is present.
+func (ts *tripleSet) get(t rdf.TripleID) (int32, bool) {
+	i := ts.hash(t) & ts.mask
+	for {
+		s := &ts.slots[i]
+		if s.n == 0 {
+			return 0, false
+		}
+		if s.t == t {
+			return s.n - 1, true
+		}
+		i = (i + 1) & ts.mask
+	}
+}
+
+// put inserts t at pos, or updates its position when already present.
+func (ts *tripleSet) put(t rdf.TripleID, pos int32) {
+	if (ts.live+ts.dead+1)*4 > len(ts.slots)*3 {
+		ts.grow()
+	}
+	i := ts.hash(t) & ts.mask
+	firstDead := int32(-1)
+	for {
+		s := &ts.slots[i]
+		if s.n == 0 {
+			if firstDead >= 0 {
+				s = &ts.slots[firstDead]
+				ts.dead--
+			}
+			s.t, s.n = t, pos+1
+			ts.live++
+			return
+		}
+		if s.n < 0 {
+			if firstDead < 0 {
+				firstDead = int32(i)
+			}
+		} else if s.t == t {
+			s.n = pos + 1
+			return
+		}
+		i = (i + 1) & ts.mask
+	}
+}
+
+// del removes t, reporting whether it was present.
+func (ts *tripleSet) del(t rdf.TripleID) bool {
+	i := ts.hash(t) & ts.mask
+	for {
+		s := &ts.slots[i]
+		if s.n == 0 {
+			return false
+		}
+		if s.n > 0 && s.t == t {
+			s.t, s.n = rdf.TripleID{}, -1
+			ts.live--
+			ts.dead++
+			return true
+		}
+		i = (i + 1) & ts.mask
+	}
+}
+
+// Len returns the number of live entries.
+func (ts *tripleSet) Len() int { return ts.live }
+
+// grow rehashes into a table sized for the live entries (doubling when
+// genuinely full), dropping every tombstone.
+func (ts *tripleSet) grow() {
+	size := uint32(len(ts.slots))
+	if (ts.live+1)*2 >= len(ts.slots) {
+		size <<= 1
+	}
+	old := ts.slots
+	ts.slots = make([]tripleSlot, size)
+	ts.mask = size - 1
+	ts.dead = 0
+	for i := range old {
+		s := &old[i]
+		if s.n <= 0 {
+			continue
+		}
+		j := ts.hash(s.t) & ts.mask
+		for ts.slots[j].n != 0 {
+			j = (j + 1) & ts.mask
+		}
+		ts.slots[j] = *s
+	}
+}

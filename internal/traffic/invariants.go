@@ -63,6 +63,15 @@ func (h *harness) assertRecovery(ctx context.Context, source string) {
 func (h *harness) endRound(round int) {
 	h.checkLinkset()
 	h.checkResources(round)
+	// Size-based WAL rotation: deterministic, since the WAL length is a
+	// pure function of the serialized mutation history.
+	if h.w.durable != nil {
+		if rotated, err := h.w.durable.MaybeRotate(); err != nil {
+			h.violate("durability_io", fmt.Sprintf("wal rotation failed at round %d: %v", round, err))
+		} else if rotated {
+			h.logf("wal rotated round %d", round)
+		}
+	}
 	h.cRounds.Inc()
 	h.logf("end round %d", round)
 }
@@ -150,6 +159,19 @@ func (h *harness) finish(ctx context.Context) {
 		if n := h.w.admission.Rejected(); n != 0 {
 			h.violate("admission_no_shed", fmt.Sprintf("admission shed %d requests below configured capacity", n))
 		}
+	}
+	// Durable shutdown: a sticky WAL error anywhere in the run, or a
+	// failing final checkpoint, is an I/O violation.
+	if h.w.durable != nil {
+		if err := h.w.durable.Err(); err != nil {
+			h.violate("durability_io", fmt.Sprintf("wal in error state at shutdown: %v", err))
+		}
+		if err := h.w.durable.Close(); err != nil {
+			h.violate("durability_io", fmt.Sprintf("durable close failed: %v", err))
+		} else {
+			h.logf("inv durability_close ok")
+		}
+		h.w.durable = nil
 	}
 	want := h.w.httpOps.Load()
 	if got := h.w.server.Served(); got != want {

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"hash/fnv"
@@ -28,6 +29,7 @@ var opFuncs = map[string]func(ctx context.Context, w *world, rng *rand.Rand) (st
 	OpBulkLoad:     opBulkLoad,
 	OpRepeatQuery:  opRepeatQuery,
 	OpMutateReread: opMutateReread,
+	OpCrashRestart: opCrashRestart,
 }
 
 // opSelectEntity fetches one DS1 entity's attributes over the SPARQL
@@ -217,6 +219,66 @@ func opMutateReread(ctx context.Context, w *world, rng *rand.Rand) (string, erro
 	}
 	return fmt.Sprintf("id=%d pre=%d wrote=%d rows=%d seen=%t",
 		id, len(warm.Rows), n, len(res.Rows), len(res.Rows) == n), nil
+}
+
+// opCrashRestart is the in-run crash-recovery probe. It snapshots the live
+// DS1 image as the reference, kills the durability layer the way kill -9
+// would (fd closed, nothing flushed, no checkpoint), recovers the data
+// directory into a throwaway store with a brand-new dict — exactly what a
+// restarted process does — and compares: the recovered store must produce
+// the identical canonical snapshot bytes and generation (snap_equal), and
+// must answer sampled SPARQL reads with the same digests as the live store
+// (reads_equal). Either being false is a durability_equiv violation at
+// flush time. Durability is then re-attached (fresh checkpoint, new WAL
+// epoch) so the run continues durable. The op is a serial barrier, so the
+// WAL replay count and snapshot size in the detail are deterministic.
+func opCrashRestart(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("crash_restart: %w", err)
+	}
+	if w.durable == nil {
+		return "noop durable=off", nil
+	}
+	var ref bytes.Buffer
+	if err := w.ds1.WriteSnapshot(&ref); err != nil {
+		return "", fmt.Errorf("crash_restart: reference snapshot: %w", err)
+	}
+	refGen := w.ds1.Generation()
+	w.durable.Kill()
+	w.durable = nil
+	re, err := store.OpenDurable(w.ds1.Name(), rdf.NewDict(), store.DurableOptions{
+		Dir: w.cfg.DataDir, Fsync: w.fsync,
+	})
+	if err != nil {
+		return "", fmt.Errorf("crash_restart: recover: %w", err)
+	}
+	rec := re.RecoveryStats()
+	var got bytes.Buffer
+	snapErr := re.Store().WriteSnapshot(&got)
+	snapEqual := snapErr == nil &&
+		bytes.Equal(ref.Bytes(), got.Bytes()) &&
+		re.Store().Generation() == refGen
+	readsEqual := true
+	for i := 0; i < 3; i++ {
+		subj := w.subjects1[rng.Intn(len(w.subjects1))]
+		q := fmt.Sprintf("SELECT ?p ?o WHERE { %s ?p ?o }", w.term(subj))
+		live, lerr := sparql.Execute(w.ds1, q)
+		rcvd, rerr := sparql.Execute(re.Store(), q)
+		if (lerr == nil) != (rerr == nil) ||
+			(lerr == nil && digestBindings(live.Rows) != digestBindings(rcvd.Rows)) {
+			readsEqual = false
+		}
+	}
+	re.Kill()
+	d, err := store.AttachDurable(w.ds1, store.DurableOptions{
+		Dir: w.cfg.DataDir, Fsync: w.fsync, Obs: w.cfg.Obs,
+	})
+	if err != nil {
+		return "", fmt.Errorf("crash_restart: re-attach: %w", err)
+	}
+	w.durable = d
+	return fmt.Sprintf("replayed=%d snap_triples=%d torn=%d snap_equal=%t reads_equal=%t",
+		rec.WALRecords, rec.SnapshotTriples, rec.TornBytes, snapEqual, readsEqual), nil
 }
 
 // skippedSuffix renders a partial result's skipped member names (sorted;

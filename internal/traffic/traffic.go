@@ -35,6 +35,7 @@ import (
 	"alex/internal/faultinject"
 	"alex/internal/fed"
 	"alex/internal/obs"
+	"alex/internal/store"
 )
 
 // Op kinds, in the vocabulary pinned by obs.SimOpNS's documentation.
@@ -54,6 +55,13 @@ const (
 	// the mutation (a generation-invalidation bug) is an invariant
 	// violation.
 	OpMutateReread = "mutate_reread"
+	// OpCrashRestart kills the DS1 durability layer mid-run (fd closed, no
+	// flush — the simulated kill -9), recovers the data directory into a
+	// throwaway store with a fresh dict, and requires the recovered state
+	// to be byte-identical (canonical snapshot image) and read-identical
+	// (sampled SPARQL digests) to the live store before re-attaching
+	// durability. Requires Config.DataDir; a serial barrier.
+	OpCrashRestart = "crash_restart"
 )
 
 // DefaultWeights is the standard operation mix: read-heavy, with enough
@@ -104,6 +112,18 @@ type Config struct {
 	MaxGoroutineGrowth int
 	// MaxHeapBytes bounds HeapAlloc at round boundaries. 0 means 1 GiB.
 	MaxHeapBytes uint64
+	// DataDir, when non-empty, runs DS1 durably: the store is attached to
+	// a snapshot+WAL pair in this directory at build time, every mutation
+	// is write-ahead logged, and the crash_restart op (auto-weighted in
+	// when Weights is nil) kill-and-recovers the directory mid-run. The op
+	// log never records the path, so runs in different directories stay
+	// byte-comparable.
+	DataDir string
+	// WALSync selects the WAL fsync policy when DataDir is set: "batch"
+	// (default), "always" or "off". Recovery equivalence holds under all
+	// of them — fsync timing affects what survives a machine crash, not an
+	// in-process kill.
+	WALSync string
 	// Cache serves the endpoint through the prepared-query and result
 	// caches behind an admission controller sized above the worker count.
 	// Caching is answer-invisible by contract, so the op log of a run is
@@ -135,6 +155,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Weights == nil {
 		c.Weights = DefaultWeights()
+		if c.DataDir != "" {
+			// Durable runs crash by default; explicit Weights stay exact.
+			c.Weights[OpCrashRestart] = 3
+		}
 	}
 	if c.OpLog == nil {
 		c.OpLog = io.Discard
@@ -155,6 +179,9 @@ func (c Config) validate() error {
 	if c.Scale < 0 {
 		return fmt.Errorf("traffic: Scale must be positive, got %g", c.Scale)
 	}
+	if _, err := store.ParseFsyncMode(c.WALSync); err != nil {
+		return fmt.Errorf("traffic: %w", err)
+	}
 	total := 0
 	for kind, wgt := range c.Weights {
 		if !opKinds[kind] {
@@ -162,6 +189,9 @@ func (c Config) validate() error {
 		}
 		if wgt < 0 {
 			return fmt.Errorf("traffic: negative weight for op %q", kind)
+		}
+		if kind == OpCrashRestart && wgt > 0 && c.DataDir == "" {
+			return errors.New("traffic: crash_restart weight requires DataDir")
 		}
 		total += wgt
 	}
@@ -189,6 +219,7 @@ var opKinds = map[string]bool{
 	OpOutageToggle: true,
 	OpRepeatQuery:  true,
 	OpMutateReread: true,
+	OpCrashRestart: true,
 }
 
 // readOnlyKinds may execute concurrently within a batch; everything else
@@ -493,6 +524,9 @@ func (h *harness) flush(op schedOp, out opOutcome) {
 	}
 	if op.kind == OpMutateReread && strings.Contains(out.detail, "seen=false") {
 		h.violate("cache_coherence", fmt.Sprintf("op %d: mutation not visible to the endpoint read-back: %s", op.seq, out.detail))
+	}
+	if op.kind == OpCrashRestart && strings.Contains(out.detail, "equal=false") {
+		h.violate("durability_equiv", fmt.Sprintf("op %d: recovered store diverged from the live store: %s", op.seq, out.detail))
 	}
 	if op.kind == OpFedJoin || op.kind == OpFedAsk {
 		for name := range h.downSources {

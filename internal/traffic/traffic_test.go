@@ -137,6 +137,81 @@ func TestMutateRereadCoherence(t *testing.T) {
 	}
 }
 
+// TestRunDurableCrashRestart runs with a data directory, so DS1 is
+// write-ahead logged and the auto-weighted crash_restart op kill-and-
+// recovers it mid-run. The run must stay violation-free (in particular no
+// durability_equiv: every recovery byte- and read-identical to the live
+// store) and the log must carry crash_restart lines with passing
+// equivalence fields and the durable shutdown invariant.
+func TestRunDurableCrashRestart(t *testing.T) {
+	var log bytes.Buffer
+	cfg := testConfig(21, 4, &log)
+	cfg.Rounds = 10
+	cfg.OpsPerRound = 8
+	cfg.DataDir = t.TempDir()
+	rep := mustRun(t, cfg)
+	if n := len(rep.Sim.Violations); n != 0 {
+		t.Fatalf("violations = %d:\n%v", n, rep.Sim.Violations)
+	}
+	text := log.String()
+	if !strings.Contains(text, "crash_restart") {
+		t.Fatal("op log has no crash_restart ops; the durable default weights should include it")
+	}
+	if !strings.Contains(text, "snap_equal=true reads_equal=true") {
+		t.Error("op log has no passing crash_restart equivalence line")
+	}
+	if strings.Contains(text, "equal=false") {
+		t.Error("op log records a failed recovery equivalence")
+	}
+	if !strings.Contains(text, "inv durability_close ok") {
+		t.Error("op log missing the durable shutdown invariant")
+	}
+}
+
+// TestRunDurableDeterministicAcrossWorkers extends the determinism
+// contract to durable runs: same seed, different worker counts and
+// different data directories must still produce byte-identical op logs
+// (the log never mentions the path, and crash_restart is a serial
+// barrier).
+func TestRunDurableDeterministicAcrossWorkers(t *testing.T) {
+	var log1, log4 bytes.Buffer
+	cfg1 := testConfig(33, 1, &log1)
+	cfg1.DataDir = t.TempDir()
+	cfg4 := testConfig(33, 4, &log4)
+	cfg4.DataDir = t.TempDir()
+	rep1 := mustRun(t, cfg1)
+	rep4 := mustRun(t, cfg4)
+	if len(rep1.Sim.Violations) != 0 || len(rep4.Sim.Violations) != 0 {
+		t.Fatalf("violations: w1=%v w4=%v", rep1.Sim.Violations, rep4.Sim.Violations)
+	}
+	if !bytes.Equal(log1.Bytes(), log4.Bytes()) {
+		t.Fatalf("durable op logs differ between workers=1 and workers=4 at %s",
+			firstDiff(log1.String(), log4.String()))
+	}
+}
+
+// TestRunDurableWALSyncModes pins that the fsync policy affects neither
+// the op log nor recovery equivalence for in-process kills.
+func TestRunDurableWALSyncModes(t *testing.T) {
+	logs := make(map[string]*bytes.Buffer)
+	for _, mode := range []string{"batch", "always", "off"} {
+		var log bytes.Buffer
+		cfg := testConfig(14, 2, &log)
+		cfg.Rounds = 6
+		cfg.DataDir = t.TempDir()
+		cfg.WALSync = mode
+		rep := mustRun(t, cfg)
+		if n := len(rep.Sim.Violations); n != 0 {
+			t.Fatalf("mode %s: violations = %d:\n%v", mode, n, rep.Sim.Violations)
+		}
+		logs[mode] = &log
+	}
+	if !bytes.Equal(logs["batch"].Bytes(), logs["always"].Bytes()) ||
+		!bytes.Equal(logs["batch"].Bytes(), logs["off"].Bytes()) {
+		t.Fatal("op logs differ across WAL fsync modes")
+	}
+}
+
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := range al {
@@ -247,6 +322,13 @@ func TestConfigValidation(t *testing.T) {
 		}},
 		{"outage past last round", func(c *Config) {
 			c.Outages = []faultinject.Window{{Source: "NYTimes", From: 1, To: 99}}
+		}},
+		{"crash_restart without DataDir", func(c *Config) {
+			c.Weights = map[string]int{OpSelectEntity: 1, OpCrashRestart: 1}
+		}},
+		{"bad wal sync mode", func(c *Config) {
+			c.DataDir = t.TempDir()
+			c.WALSync = "sometimes"
 		}},
 	}
 	for _, tc := range cases {

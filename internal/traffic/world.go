@@ -40,6 +40,12 @@ type world struct {
 	truth  *linkset.Set
 	engine *core.Engine
 
+	// durable is DS1's snapshot+WAL layer when cfg.DataDir is set; fsync
+	// is the parsed cfg.WALSync policy. crash_restart detaches, recovers
+	// and re-attaches it, so the field is mutated only at serial barriers.
+	durable *store.Durable
+	fsync   store.FsyncMode
+
 	server    *endpoint.Server
 	client    *endpoint.Client
 	httpTr    *http.Transport
@@ -95,6 +101,18 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 	w.preds1 = pair.DS1.Predicates()
 	if len(w.subjects1) == 0 || len(w.subjects2) == 0 {
 		return nil, fmt.Errorf("traffic: generated pair is empty at scale %g", cfg.Scale)
+	}
+	if cfg.DataDir != "" {
+		// Parse errors were caught by validate; attach overwrites whatever
+		// the directory held, so reruns in a reused dir stay deterministic.
+		w.fsync, _ = store.ParseFsyncMode(cfg.WALSync)
+		d, err := store.AttachDurable(pair.DS1, store.DurableOptions{
+			Dir: cfg.DataDir, Fsync: w.fsync, Obs: cfg.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("traffic: attach durable store: %w", err)
+		}
+		w.durable = d
 	}
 	hot := 8
 	if hot > len(w.subjects1) {
@@ -192,6 +210,12 @@ func (w *world) close() {
 	}
 	if w.server != nil {
 		w.server.Close()
+	}
+	// Backstop for error paths; finish() normally closed it already
+	// (Close is idempotent) and surfaced any error as a violation.
+	if w.durable != nil {
+		_ = w.durable.Close()
+		w.durable = nil
 	}
 }
 
