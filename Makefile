@@ -9,10 +9,13 @@ GO ?= go
 # written join order), the federated processor (join reorderer plus an
 # end-to-end cross-source join), the serving layer (repeat-query
 # cold/hit pair whose ratio is the cache win, and the saturated-endpoint
-# latency) and durable recovery (snapshot reload vs the re-parse it
-# replaces — the pair whose ratio README's durability section quotes).
+# latency), durable recovery (snapshot reload vs the re-parse it
+# replaces — the pair whose ratio README's durability section quotes)
+# and streaming maintenance (the Space rebuild/upsert pair whose ratio is
+# the incremental-delta win README's streaming section quotes, plus the
+# live POST /feedback round trip).
 # Keep this list in sync with the "Performance" section of README.md.
-BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkStoreRecover|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd|BenchmarkEndpointRepeatQuery(Cold|Hit)|BenchmarkEndpointSaturation)$$
+BENCH_GATE_RE   = ^(BenchmarkLoadNTriples|BenchmarkLoadIncremental|BenchmarkStoreRecover|BenchmarkDictIntern(Parallel)?|BenchmarkFeatureExplore|BenchmarkEngineEpisode|BenchmarkSpaceRebuild|BenchmarkSpaceUpsert|BenchmarkEvalSlotRows|BenchmarkEvalPlanOrder|BenchmarkFedJoinReorder|BenchmarkFedQueryEndToEnd|BenchmarkEndpointRepeatQuery(Cold|Hit)|BenchmarkEndpointSaturation|BenchmarkEndpointFeedback)$$
 BENCH_GATE_PKGS = .,./internal/store,./internal/rdf,./internal/endpoint
 BENCH_COUNT    ?= 5
 # Time-based so sub-millisecond benchmarks average many iterations (one
@@ -88,6 +91,9 @@ lint:
 # on a snapshot+WAL data directory with mid-run kill-and-recover
 # (crash_restart) ops: those logs must be byte-identical across worker
 # counts AND fsync policies — durability must never leak into answers.
+# The streaming pair enables live store growth + POST /feedback ingestion
+# (live_upsert/feedback_http ops): those logs too must be byte-identical
+# across worker counts — stream batching must never reorder results.
 sim-smoke:
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -quiet -oplog simlog_42_w4.log
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -quiet -oplog simlog_42_w1.log
@@ -100,8 +106,11 @@ sim-smoke:
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 4 -data-dir simdur_w4 -quiet -oplog simlog_42_d4.log
 	$(SIM) -seed 42 -rounds $(SIM_ROUNDS) -workers 1 -data-dir simdur_w1 -wal-fsync off -quiet -oplog simlog_42_d1.log
 	cmp simlog_42_d4.log simlog_42_d1.log
+	$(SIM) -seed 58 -rounds $(SIM_ROUNDS) -workers 4 -stream -quiet -oplog simlog_58_s4.log
+	$(SIM) -seed 58 -rounds $(SIM_ROUNDS) -workers 1 -stream -quiet -oplog simlog_58_s1.log
+	cmp simlog_58_s4.log simlog_58_s1.log
 	rm -rf simdur_w4 simdur_w1
-	rm -f simlog_42_w4.log simlog_42_w1.log simlog_42_cache.log simlog_7_a.log simlog_7_b.log simlog_42_d4.log simlog_42_d1.log
+	rm -f simlog_42_w4.log simlog_42_w1.log simlog_42_cache.log simlog_7_a.log simlog_7_b.log simlog_42_d4.log simlog_42_d1.log simlog_58_s4.log simlog_58_s1.log
 
 # The nightly soak: a longer, larger-scale run with the default mid-run
 # outage window, writing the JSON report (alexbench-compatible), a

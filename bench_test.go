@@ -417,6 +417,35 @@ func BenchmarkFeatureSpaceBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSpaceRebuild is the from-scratch baseline of the incremental-
+// maintenance pair: the cost of absorbing one subject change by rebuilding
+// the whole feature space, the only option before delta maintenance.
+func BenchmarkSpaceRebuild(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	subjects := pair.DS1.Subjects()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feature.Build(pair.DS1, subjects, pair.DS2, feature.DefaultOptions())
+	}
+}
+
+// BenchmarkSpaceUpsert measures absorbing one subject change through the
+// delta path: rescore only the touched pairs and splice the per-feature
+// indexes in place. Pinned by the CI bench gate together with
+// BenchmarkSpaceRebuild — their ratio is the streaming headline (target
+// ≥10× on this corpus).
+func BenchmarkSpaceUpsert(b *testing.B) {
+	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
+	subjects := pair.DS1.Subjects()
+	sp := feature.Build(pair.DS1, subjects, pair.DS2, feature.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.UpsertSubject(pair.DS1, subjects[i%len(subjects)], pair.DS2)
+	}
+}
+
 func BenchmarkFeatureExplore(b *testing.B) {
 	pair := datagen.GeneratePair(datagen.NBADBpediaNYTimes(1, benchSeed))
 	sp := feature.Build(pair.DS1, pair.DS1.Subjects(), pair.DS2, feature.DefaultOptions())

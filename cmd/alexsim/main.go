@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 0.25, "data-set scale (1.0 = the alexbench DBpedia/NYTimes scenario)")
 	sampleEvery := fs.Int("sample-every", 16, "shadow-check every Nth read op (0 disables)")
 	cache := fs.Bool("cache", false, "serve the endpoint through the query caches and admission controller; must not change the op log")
+	stream := fs.Bool("stream", false, "run the streaming loop: POST /feedback ingestion plus live store growth (live_upsert/feedback_http ops); op log stays worker-independent")
 	dataDir := fs.String("data-dir", "", "run DS1 durably (snapshot+WAL) in this directory and crash/recover it mid-run; must not change the op log")
 	walFsync := fs.String("wal-fsync", "", "WAL fsync policy with -data-dir: batch (default), always, off")
 	outageFrom := fs.Int("outage-from", -1, "round at which the NYTimes source goes down (-1 = auto when rounds >= 20)")
@@ -107,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Scale:              *scale,
 		SampleEvery:        *sampleEvery,
 		Cache:              *cache,
+		Stream:             *stream,
 		DataDir:            *dataDir,
 		WALSync:            *walFsync,
 		Outages:            outages,

@@ -86,6 +86,29 @@ func TestDurableRunClean(t *testing.T) {
 	}
 }
 
+// TestStreamRunClean drives the CLI with -stream: the run serves POST
+// /feedback over the wire and grows the stores live, and must exit clean
+// with both streaming op kinds in the log.
+func TestStreamRunClean(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "sim.log")
+	code, _, stderr := runSim(t,
+		"-seed", "58", "-rounds", "10", "-ops-per-round", "6", "-scale", "0.1",
+		"-quiet", "-stream", "-oplog", logPath)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	log, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"feedback_http", "live_upsert", "inv stream_drained"} {
+		if !strings.Contains(string(log), want) {
+			t.Errorf("streaming op log missing %q", want)
+		}
+	}
+}
+
 func TestReportAndSummaryFiles(t *testing.T) {
 	dir := t.TempDir()
 	report := filepath.Join(dir, "SIM.json")

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"alex/internal/core"
 	"alex/internal/endpoint"
 	"alex/internal/fed"
 	"alex/internal/linkset"
@@ -74,6 +75,13 @@ type options struct {
 	maxQueue      int
 	perClient     int
 	retryAfter    time.Duration
+
+	// Streaming feedback (internal/core stream.go): with -feedback a
+	// two-source federation runs a live ALEX engine whose candidate set
+	// backs the sameAs links, and POST /feedback feeds it.
+	feedback      bool
+	feedbackBatch int
+	feedbackQueue int
 }
 
 func main() {
@@ -92,6 +100,9 @@ func main() {
 	perClient := fs.Int("per-client", 0, "max concurrent requests per client (0 = unlimited)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	feedback := fs.Bool("feedback", false, "enable POST /feedback live link exploration (requires exactly two -data files)")
+	feedbackBatch := fs.Int("feedback-batch", 64, "feedback items per applied episode batch")
+	feedbackQueue := fs.Int("feedback-queue", 1024, "buffered feedback items before shedding")
 	dataDir := fs.String("data-dir", "", "durable data directory (snapshot + write-ahead log); restarts recover from it instead of re-parsing -data")
 	snapshotBytes := fs.Int64("snapshot", 0, "WAL size in bytes that triggers a background checkpoint (0 = checkpoint only at shutdown)")
 	walFsync := fs.String("wal-fsync", "", "WAL fsync policy with -data-dir: batch (default), always, off")
@@ -113,6 +124,9 @@ func main() {
 		maxQueue:      *maxQueue,
 		perClient:     *perClient,
 		retryAfter:    *retryAfter,
+		feedback:      *feedback,
+		feedbackBatch: *feedbackBatch,
+		feedbackQueue: *feedbackQueue,
 		dataDir:       *dataDir,
 		snapshotBytes: *snapshotBytes,
 		walFsync:      *walFsync,
@@ -180,6 +194,9 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, func() error, err
 	reg := obs.NewRegistry()
 	cleanup := func() error { return nil }
 	cacheCfg := endpoint.CacheConfig{PreparedSize: opts.preparedCache, ResultSize: opts.resultCache}
+	if opts.feedback && (len(opts.dataFiles) != 2 || opts.dataDir != "") {
+		return nil, nil, fmt.Errorf("-feedback requires exactly two -data files and no -data-dir")
+	}
 
 	if opts.dataDir != "" {
 		if len(opts.dataFiles) != 1 || opts.linksFile != "" {
@@ -215,8 +232,10 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, func() error, err
 		handler = endpoint.NewCachedHandler(st, cache)
 	} else {
 		federation := fed.New(dict, stores...)
+		var links *linkset.Set
 		if opts.linksFile != "" {
-			links, err := loadLinks(dict, opts.linksFile)
+			var err error
+			links, err = loadLinks(dict, opts.linksFile)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -240,6 +259,26 @@ func buildHandler(opts options, logw io.Writer) (http.Handler, func() error, err
 		})
 		handler.SetTraceFunc(fed.EndpointTraceFunc(federation))
 		fmt.Fprintf(logw, "serving a federation of %d sources\n", len(stores))
+		if opts.feedback {
+			// The engine's candidate set becomes the federation's sameAs
+			// links; every applied feedback batch pushes the refreshed set,
+			// which bumps the data generation and invalidates cached
+			// results.
+			engine := core.New(stores[0], stores[1], core.Defaults())
+			engine.SetObserver(reg)
+			if links != nil {
+				engine.SetInitialLinks(links.Links())
+			}
+			federation.SetLinks(engine.Candidates())
+			stream := engine.FeedbackStream(core.StreamConfig{
+				Capacity:  opts.feedbackQueue,
+				BatchSize: opts.feedbackBatch,
+			})
+			handler.SetFeedbackFunc(endpoint.EngineFeedbackFunc(engine, stream, dict, func(core.EpisodeStats) {
+				federation.SetLinks(engine.Candidates())
+			}))
+			fmt.Fprintf(logw, "live feedback enabled (batch %d, queue %d)\n", opts.feedbackBatch, opts.feedbackQueue)
+		}
 	}
 	handler.SetObserver(reg)
 	return wrapAdmission(handler, opts, reg), cleanup, nil

@@ -122,6 +122,82 @@ func TestFederatedServer(t *testing.T) {
 	}
 }
 
+// TestFeedbackServer is the streaming loop end to end: -feedback runs a
+// live engine whose candidates back the federation's sameAs links, a
+// cached cross-dataset join answers through the seeded link, and a
+// disapproving POST /feedback removes it — invalidating the cached
+// result via the generation bump, so the next query comes back empty.
+func TestFeedbackServer(t *testing.T) {
+	dbp, nyt, links := writeFixtures(t, t.TempDir())
+	var log strings.Builder
+	h, _, err := buildHandler(options{
+		dataFiles:     []string{dbp, nyt},
+		linksFile:     links,
+		feedback:      true,
+		feedbackBatch: 4,
+		feedbackQueue: 64,
+		preparedCache: 64,
+		resultCache:   64,
+	}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if !strings.Contains(log.String(), "live feedback enabled") {
+		t.Fatalf("feedback not announced: %q", log.String())
+	}
+
+	join := srv.URL + "/sparql?query=" + url.QueryEscape(
+		`SELECT ?article WHERE { ?player <http://dbo/award> "NBA MVP 2013" . ?article <http://nyo/about> ?player . }`)
+	for i := 0; i < 2; i++ { // second hit comes from the result cache
+		code, body := get(t, join)
+		if code != http.StatusOK || !strings.Contains(body, "http://nyt/article1") {
+			t.Fatalf("join via engine candidates (try %d) = %d: %s", i, code, body)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/feedback", "application/json", strings.NewReader(
+		`{"items":[{"left":"http://dbp/LeBron","right":"http://nyt/lebron_per","approved":false}],"flush":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /feedback = %d: %s", resp.StatusCode, body)
+	}
+	var fb struct {
+		Accepted int `json:"accepted"`
+		Batches  int `json:"batches"`
+	}
+	if err := json.Unmarshal(body, &fb); err != nil {
+		t.Fatalf("feedback response not JSON: %v (%s)", err, body)
+	}
+	if fb.Accepted != 1 || fb.Batches == 0 {
+		t.Fatalf("feedback response = %s, want 1 accepted and an applied batch", body)
+	}
+
+	// The disapproved link is gone and the cached result with it.
+	code, qbody := get(t, join)
+	if code != http.StatusOK {
+		t.Fatalf("join after feedback = %d: %s", code, qbody)
+	}
+	if strings.Contains(qbody, "http://nyt/article1") {
+		t.Errorf("disapproved link still answers the join: %s", qbody)
+	}
+
+	code, mbody := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, key := range []string{"endpoint.feedback.requests", "core.stream.submitted", "core.stream.batches"} {
+		if !strings.Contains(mbody, key) {
+			t.Errorf("metrics missing %s", key)
+		}
+	}
+}
+
 func TestBuildHandlerErrors(t *testing.T) {
 	if _, _, err := buildHandler(options{dataFiles: []string{"/nonexistent.nt"}}, io.Discard); err == nil {
 		t.Error("missing data file not reported")
@@ -133,6 +209,9 @@ func TestBuildHandlerErrors(t *testing.T) {
 	dir := t.TempDir()
 	if _, _, err := buildHandler(options{dataFiles: []string{dbp, nyt}, linksFile: links, dataDir: dir}, io.Discard); err == nil {
 		t.Error("-data-dir with a federation not rejected")
+	}
+	if _, _, err := buildHandler(options{dataFiles: []string{dbp}, feedback: true}, io.Discard); err == nil {
+		t.Error("-feedback with one -data file not rejected")
 	}
 	if _, _, err := buildHandler(options{dataFiles: []string{dbp}, dataDir: dir, walFsync: "sometimes"}, io.Discard); err == nil {
 		t.Error("bad -wal-fsync mode not rejected")

@@ -18,12 +18,30 @@ import (
 // seed it with the automatic linker's candidate links via SetInitialLinks,
 // then drive episodes with RunEpisode (or Run until convergence).
 type Engine struct {
+	// mu guards all mutable engine state: episode execution, candidate
+	// reads, and the live-maintenance entry points (live.go, stream.go)
+	// that grow partitions under traffic. Mutators take the write lock;
+	// read accessors take the read lock. The lock is NOT reentrant —
+	// internal helpers called under the write lock use the *Locked
+	// variants.
+	mu         sync.RWMutex
 	cfg        Config
 	ds1, ds2   *store.Store
 	partitions []*partition
 	// subjectPartition routes a ds1 subject to its owning partition.
 	subjectPartition map[rdf.TermID]int
-	episode          int
+	// assigned counts subjects ever assigned to partitions; new subjects
+	// arriving via UpsertSubjects continue the round-robin rule
+	// (partition = assigned mod |partitions|), so a grown subject set
+	// maps identically regardless of worker count or arrival batching.
+	assigned int
+	episode  int
+	// lastGen1/lastGen2 are the store generations the partitions'
+	// feature spaces last synchronized to; knownDS2 tracks the ds2
+	// subjects already reflected in the spaces, so SyncStores can spot
+	// arrivals without assuming the subject list only grows.
+	lastGen1, lastGen2 uint64
+	knownDS2           map[rdf.TermID]struct{}
 
 	// Observability. obsReg gates the clock reads and per-episode trace;
 	// the instruments themselves are nil-safe no-ops when unset.
@@ -35,12 +53,13 @@ type Engine struct {
 // engineObs bundles the instruments shared by every partition. Fields stay
 // nil (no-op) until SetObserver resolves them.
 type engineObs struct {
-	cPos, cNeg      *obs.Counter
-	cAdds, cRemoves *obs.Counter
-	cExplorations   *obs.Counter
-	cRollbacks      *obs.Counter
-	cPickGreedy     *obs.Counter
-	cPickExplore    *obs.Counter
+	cPos, cNeg        *obs.Counter
+	cAdds, cRemoves   *obs.Counter
+	cExplorations     *obs.Counter
+	cRollbacks        *obs.Counter
+	cPickGreedy       *obs.Counter
+	cPickExplore      *obs.Counter
+	cDroppedConverged *obs.Counter
 }
 
 // New builds an engine: it partitions the first data set round-robin
@@ -73,6 +92,14 @@ func New(ds1, ds2 *store.Store, cfg Config) *Engine {
 			e.subjectPartition[s] = i
 		}
 	}
+	e.assigned = len(subjects)
+	ds2subs := ds2.Subjects()
+	e.knownDS2 = make(map[rdf.TermID]struct{}, len(ds2subs))
+	for _, s := range ds2subs {
+		e.knownDS2[s] = struct{}{}
+	}
+	e.lastGen1 = ds1.Generation()
+	e.lastGen2 = ds2.Generation()
 	runBounded(len(parts), cfg.Workers, func(i int) {
 		space := feature.Build(ds1, parts[i], ds2, cfg.SpaceOptions)
 		e.partitions[i] = newPartition(i, space, cfg, cfg.Seed+int64(i)*7919)
@@ -124,22 +151,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // records a trace named "episode-<n>" with one span per partition,
 // retrievable via reg.Traces().
 func (e *Engine) SetObserver(reg *obs.Registry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.obsReg = reg
 	e.hEpisodeNS = reg.Histogram(obs.CoreEpisodeNS)
 	e.gCandidates = reg.Gauge(obs.CoreCandidates)
 	reg.Gauge(obs.CoreExploreWorkers).Set(int64(e.cfg.Workers))
 	o := &engineObs{
-		cPos:          reg.Counter(obs.CoreFeedbackPositive),
-		cNeg:          reg.Counter(obs.CoreFeedbackNegative),
-		cAdds:         reg.Counter(obs.CoreLinksAdded),
-		cRemoves:      reg.Counter(obs.CoreLinksRemoved),
-		cExplorations: reg.Counter(obs.CoreExplorations),
-		cRollbacks:    reg.Counter(obs.CoreRollbacks),
-		cPickGreedy:   reg.Counter(obs.CorePickGreedy),
-		cPickExplore:  reg.Counter(obs.CorePickExplore),
+		cPos:              reg.Counter(obs.CoreFeedbackPositive),
+		cNeg:              reg.Counter(obs.CoreFeedbackNegative),
+		cAdds:             reg.Counter(obs.CoreLinksAdded),
+		cRemoves:          reg.Counter(obs.CoreLinksRemoved),
+		cExplorations:     reg.Counter(obs.CoreExplorations),
+		cRollbacks:        reg.Counter(obs.CoreRollbacks),
+		cPickGreedy:       reg.Counter(obs.CorePickGreedy),
+		cPickExplore:      reg.Counter(obs.CorePickExplore),
+		cDroppedConverged: reg.Counter(obs.CoreFeedbackDroppedConverged),
 	}
 	for _, p := range e.partitions {
 		p.obs = o
+		p.space.SetObserver(reg)
 	}
 }
 
@@ -150,6 +181,8 @@ func (e *Engine) Partitions() int { return len(e.partitions) }
 // links. Links whose left entity is unknown to the engine are dropped (they
 // cannot be routed to a partition).
 func (e *Engine) SetInitialLinks(links []linkset.Link) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, l := range links {
 		pi, ok := e.subjectPartition[l.Left]
 		if !ok {
@@ -161,6 +194,8 @@ func (e *Engine) SetInitialLinks(links []linkset.Link) {
 
 // Candidates returns the current global candidate link set.
 func (e *Engine) Candidates() *linkset.Set {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := linkset.New()
 	for _, p := range e.partitions {
 		for l := range p.candidates {
@@ -186,6 +221,9 @@ type EpisodeStats struct {
 	Candidates int
 	// Rollbacks counts rollback events since the run started.
 	Rollbacks int
+	// DroppedConverged counts feedback items this episode that were
+	// discarded because they routed to an already-converged partition.
+	DroppedConverged int
 	// Converged reports strict convergence (no change in any partition).
 	Converged bool
 	// Relaxed reports the paper's relaxed condition: changed links below
@@ -216,6 +254,8 @@ func (s EpisodeStats) String() string {
 // own seeded generator, so the stats and resulting candidate set are
 // identical at any worker count.
 func (e *Engine) RunEpisode(judge feedback.Judge) EpisodeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.episode++
 	tr, t0 := e.traceEpisode()
 	n := len(e.partitions)
@@ -273,8 +313,9 @@ func (e *Engine) collectStats() EpisodeStats {
 		stats.Changed += p.episodeChanged
 		stats.Candidates += len(p.candidates)
 		stats.Rollbacks += p.rollbacks
+		stats.DroppedConverged += p.droppedConverged
 	}
-	stats.Converged = e.Converged()
+	stats.Converged = e.convergedLocked()
 	stats.Relaxed = stats.Candidates > 0 &&
 		float64(stats.Changed) < e.cfg.RelaxedThreshold*float64(stats.Candidates)
 	return stats
@@ -293,6 +334,14 @@ type Feedback struct {
 // no items are untouched (they had no chance to change, so the episode
 // says nothing about their convergence).
 func (e *Engine) ApplyEpisode(items []Feedback) EpisodeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.applyEpisodeLocked(items)
+}
+
+// applyEpisodeLocked is ApplyEpisode under an already-held write lock
+// (the feedback stream applies batches while holding it).
+func (e *Engine) applyEpisodeLocked(items []Feedback) EpisodeStats {
 	e.episode++
 	perPartition := make([][]Feedback, len(e.partitions))
 	for _, it := range items {
@@ -312,6 +361,12 @@ func (e *Engine) ApplyEpisode(items []Feedback) EpisodeStats {
 // Converged reports whether every partition has strictly converged (no
 // candidate-set change in its last episode) or hit MaxEpisodes.
 func (e *Engine) Converged() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.convergedLocked()
+}
+
+func (e *Engine) convergedLocked() bool {
 	for _, p := range e.partitions {
 		if !p.converged {
 			return false
@@ -321,13 +376,17 @@ func (e *Engine) Converged() bool {
 }
 
 // Episode returns the number of episodes run.
-func (e *Engine) Episode() int { return e.episode }
+func (e *Engine) Episode() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.episode
+}
 
 // Run drives episodes until convergence or MaxEpisodes, invoking observe
 // (if non-nil) after each episode. It returns the per-episode stats.
 func (e *Engine) Run(judge feedback.Judge, observe func(EpisodeStats)) []EpisodeStats {
 	var out []EpisodeStats
-	for !e.Converged() && e.episode < e.cfg.MaxEpisodes {
+	for !e.Converged() && e.Episode() < e.cfg.MaxEpisodes {
 		st := e.RunEpisode(judge)
 		out = append(out, st)
 		if observe != nil {
@@ -340,17 +399,30 @@ func (e *Engine) Run(judge feedback.Judge, observe func(EpisodeStats)) []Episode
 // PartitionCandidates returns partition i's candidate links (for the Fig 7
 // per-partition analysis).
 func (e *Engine) PartitionCandidates(i int) []linkset.Link {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.partitions[i].links()
 }
 
 // PartitionConverged reports partition i's convergence.
-func (e *Engine) PartitionConverged(i int) bool { return e.partitions[i].converged }
+func (e *Engine) PartitionConverged(i int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.partitions[i].converged
+}
 
 // PartitionEpisodes returns the episodes partition i has run.
-func (e *Engine) PartitionEpisodes(i int) int { return e.partitions[i].episodes }
+func (e *Engine) PartitionEpisodes(i int) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.partitions[i].episodes
+}
 
-// PartitionOf reports which partition owns a ds1 subject.
+// PartitionOf reports which partition owns a ds1 subject — including
+// subjects assigned after construction by UpsertSubjects/SyncStores.
 func (e *Engine) PartitionOf(subject rdf.TermID) (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	i, ok := e.subjectPartition[subject]
 	return i, ok
 }
@@ -359,6 +431,8 @@ func (e *Engine) PartitionOf(subject rdf.TermID) (int, bool) {
 // the raw cross-product pair count and the θ-filtered space size of
 // partition i.
 func (e *Engine) SpaceStats(i int) (total, filtered int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sp := e.partitions[i].space
 	return sp.TotalPairs(), sp.Len()
 }

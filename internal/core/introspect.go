@@ -29,6 +29,8 @@ func (f FeatureQuality) String() string {
 // sorted by descending mean return then by evidence. Only bands with at
 // least minVisits returns are included.
 func (e *Engine) FeatureReport(i int, minVisits int) []FeatureQuality {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p := e.partitions[i]
 	dict := e.ds1.Dict()
 	var out []FeatureQuality
@@ -112,6 +114,8 @@ type PolicyStats struct {
 
 // PartitionPolicyStats reports partition i's learning state.
 func (e *Engine) PartitionPolicyStats(i int) PolicyStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	p := e.partitions[i]
 	return PolicyStats{
 		States:           len(p.policy.GreedyEntries()),

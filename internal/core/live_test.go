@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"alex/internal/rdf"
+)
+
+// TestUpsertPartitionDeterminism is the regression test for subject-set
+// growth: new subjects arriving via upsert must land in the same
+// partition regardless of worker count and of how arrivals are batched,
+// and must match a from-scratch engine over the grown store.
+func TestUpsertPartitionDeterminism(t *testing.T) {
+	build := func(workers int, batched bool) (*Engine, []rdf.TermID) {
+		p := testPair(41)
+		cfg := smallConfig(41)
+		cfg.Workers = workers
+		e := New(p.DS1, p.DS2, cfg)
+		var grown []rdf.TermID
+		for i := 0; i < 10; i++ {
+			iri := rdf.NewIRI(fmt.Sprintf("http://grow.test/e%d", i))
+			p.DS1.Add(rdf.Triple{
+				S: iri,
+				P: rdf.NewIRI("http://grow.test/p/name"),
+				O: rdf.NewString(fmt.Sprintf("grown entity %d", i)),
+			})
+			id, ok := p.Dict.Lookup(iri)
+			if !ok {
+				t.Fatal("grown subject not interned")
+			}
+			grown = append(grown, id)
+			if !batched {
+				e.UpsertSubjects(id)
+			}
+		}
+		if batched {
+			st := e.SyncStores()
+			if st.NewSubjects != len(grown) {
+				t.Fatalf("SyncStores ingested %d subjects, want %d", st.NewSubjects, len(grown))
+			}
+		}
+		return e, grown
+	}
+
+	eOne, grown := build(1, false)
+	eBatch, _ := build(4, true)
+	for _, id := range grown {
+		p1, ok1 := eOne.PartitionOf(id)
+		p2, ok2 := eBatch.PartitionOf(id)
+		if !ok1 || !ok2 {
+			t.Fatalf("grown subject %d not routed (one-by-one=%v batched=%v)", id, ok1, ok2)
+		}
+		if p1 != p2 {
+			t.Errorf("subject %d: partition %d one-by-one vs %d batched", id, p1, p2)
+		}
+	}
+
+	// A from-scratch engine over the grown store must agree on routing
+	// and produce identical space sizes — the engine-level face of the
+	// feature-level Build-equivalence contract.
+	pFresh := testPair(41)
+	for i := 0; i < 10; i++ {
+		pFresh.DS1.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://grow.test/e%d", i)),
+			P: rdf.NewIRI("http://grow.test/p/name"),
+			O: rdf.NewString(fmt.Sprintf("grown entity %d", i)),
+		})
+	}
+	eFresh := New(pFresh.DS1, pFresh.DS2, smallConfig(41))
+	for i, id := range grown {
+		iri := rdf.NewIRI(fmt.Sprintf("http://grow.test/e%d", i))
+		fid, ok := pFresh.Dict.Lookup(iri)
+		if !ok {
+			t.Fatal("grown subject missing from fresh store")
+		}
+		pGrown, _ := eOne.PartitionOf(id)
+		pFreshPart, ok := eFresh.PartitionOf(fid)
+		if !ok || pGrown != pFreshPart {
+			t.Errorf("subject %d: grown engine partition %d, fresh engine %d (ok=%v)", i, pGrown, pFreshPart, ok)
+		}
+	}
+	for i := 0; i < eOne.Partitions(); i++ {
+		t1, f1 := eOne.SpaceStats(i)
+		t2, f2 := eFresh.SpaceStats(i)
+		if t1 != t2 || f1 != f2 {
+			t.Errorf("partition %d: grown space (total=%d filtered=%d) vs fresh build (total=%d filtered=%d)", i, t1, f1, t2, f2)
+		}
+	}
+}
+
+// TestSyncStoresDS2Growth folds a new DS2 entity in through the
+// object-delta path and checks the spaces see it.
+func TestSyncStoresDS2Growth(t *testing.T) {
+	p := testPair(42)
+	e := New(p.DS1, p.DS2, smallConfig(42))
+	var before int
+	for i := 0; i < e.Partitions(); i++ {
+		total, _ := e.SpaceStats(i)
+		before += total
+	}
+	p.DS2.Add(rdf.Triple{
+		S: rdf.NewIRI("http://grow.test/r0"),
+		P: rdf.NewIRI("http://grow.test/p/name"),
+		O: rdf.NewString("fresh right-side entity"),
+	})
+	st := e.SyncStores()
+	if st.NewObjects != 1 {
+		t.Fatalf("SyncStores ingested %d ds2 subjects, want 1", st.NewObjects)
+	}
+	var after int
+	for i := 0; i < e.Partitions(); i++ {
+		total, _ := e.SpaceStats(i)
+		after += total
+	}
+	// Each partition's cross product grows by its member count: the sum
+	// grows by |DS1 subjects routed|.
+	if after <= before {
+		t.Errorf("TotalPairs did not grow: %d -> %d", before, after)
+	}
+	// A second sync with no store change is a no-op.
+	if st := e.SyncStores(); st.NewSubjects != 0 || st.NewObjects != 0 {
+		t.Errorf("idle SyncStores ingested %+v", st)
+	}
+}

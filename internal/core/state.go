@@ -81,6 +81,8 @@ type engineState struct {
 
 // SaveState serializes the engine's learned state to w.
 func (e *Engine) SaveState(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	dict := e.ds1.Dict()
 	iri := func(id rdf.TermID) string { return dict.Term(id).Value }
 	wl := func(l linkset.Link) wireLink { return wireLink{Left: iri(l.Left), Right: iri(l.Right)} }
@@ -93,18 +95,23 @@ func (e *Engine) SaveState(w io.Writer) error {
 			Converged: p.converged,
 			Rollbacks: p.rollbacks,
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for l := range p.candidates {
 			ps.Candidates = append(ps.Candidates, wl(l))
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for l := range p.blacklist {
 			ps.Blacklist = append(ps.Blacklist, wl(l))
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for l, n := range p.negByLink {
 			ps.NegByLink = append(ps.NegByLink, wireLinkCount{L: wl(l), N: n})
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for l := range p.posConfirmed {
 			ps.PosConfirmed = append(ps.PosConfirmed, wl(l))
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for sa := range p.rolledBack {
 			ps.RolledBack = append(ps.RolledBack, wireSA{S: wl(sa.s), A: wf(sa.a)})
 		}
@@ -114,6 +121,7 @@ func (e *Engine) SaveState(w io.Writer) error {
 		for _, fe := range p.fq.Entries() {
 			ps.FQ = append(ps.FQ, wireFQ{A: wf(fe.Action.f), Bucket: fe.Action.bucket, Sum: fe.Sum, Count: fe.Count})
 		}
+		//lint:ignore nodeterminism sorted by sortPartitionState before encoding
 		for s, a := range p.policy.GreedyEntries() {
 			ps.Greedy = append(ps.Greedy, wireGreedy{S: wl(s), A: wf(a)})
 		}
@@ -165,6 +173,8 @@ func sortPartitionState(ps *partitionState) {
 // the same (or equivalent) data sets with the same partition count.
 // Entries referring to IRIs absent from the current data are skipped.
 func (e *Engine) LoadState(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var st engineState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("core: loading engine state: %w", err)

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"alex/internal/feedback"
+	"alex/internal/linkset"
+	"alex/internal/obs"
+	"alex/internal/rdf"
+)
+
+// truthFeedback builds explicit feedback items for the first n current
+// candidates, judged against ground truth.
+func truthFeedback(e *Engine, truth *linkset.Set, n int) []Feedback {
+	var out []Feedback
+	for _, l := range e.Candidates().Links() {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, Feedback{Link: l, Approved: truth.Contains(l)})
+	}
+	return out
+}
+
+func TestStreamBatchingAndFlush(t *testing.T) {
+	p := testPair(31)
+	e := New(p.DS1, p.DS2, smallConfig(31))
+	e.SetInitialLinks(initialLinks(p))
+	items := truthFeedback(e, p.Truth, 25)
+	if len(items) < 12 {
+		t.Fatalf("only %d candidates", len(items))
+	}
+
+	n := len(items)
+	s := e.FeedbackStream(StreamConfig{Capacity: 100, BatchSize: 5})
+	acc, applied := s.Submit(items[:3]...)
+	if acc != 3 || len(applied) != 0 {
+		t.Fatalf("Submit(3) = %d accepted, %d episodes; want 3, 0", acc, len(applied))
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", s.Pending())
+	}
+	acc, applied = s.Submit(items[3:]...)
+	wantAuto := n / 5
+	if acc != n-3 || len(applied) != wantAuto {
+		t.Fatalf("Submit(%d) = %d accepted, %d episodes; want %d, %d", n-3, acc, len(applied), n-3, wantAuto)
+	}
+	if got := s.Pending(); got != n%5 {
+		t.Fatalf("Pending after auto-batches = %d, want %d", got, n%5)
+	}
+	final := s.Flush()
+	wantFinal := 0
+	if n%5 != 0 {
+		wantFinal = 1
+	}
+	if len(final) != wantFinal {
+		t.Fatalf("Flush applied %d episodes, want %d", len(final), wantFinal)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after Flush = %d, want 0", s.Pending())
+	}
+	st := s.Stats()
+	if st.Submitted != n || st.Shed != 0 || st.Batches != wantAuto+wantFinal || st.Applied != n {
+		t.Fatalf("Stats = %+v, want %d submitted / 0 shed / %d batches / %d applied", st, n, wantAuto+wantFinal, n)
+	}
+	if e.Episode() != wantAuto+wantFinal {
+		t.Fatalf("engine ran %d episodes, want %d", e.Episode(), wantAuto+wantFinal)
+	}
+}
+
+func TestStreamShedsAtCapacity(t *testing.T) {
+	p := testPair(32)
+	e := New(p.DS1, p.DS2, smallConfig(32))
+	e.SetInitialLinks(initialLinks(p))
+	reg := obs.NewRegistry()
+	e.SetObserver(reg)
+	items := truthFeedback(e, p.Truth, 12)
+
+	// BatchSize above capacity: nothing auto-applies, overflow sheds.
+	s := e.FeedbackStream(StreamConfig{Capacity: 8, BatchSize: 64})
+	acc, applied := s.Submit(items...)
+	if acc != 8 || len(applied) != 0 {
+		t.Fatalf("Submit = %d accepted, %d episodes; want 8, 0", acc, len(applied))
+	}
+	st := s.Stats()
+	if st.Shed != 4 {
+		t.Fatalf("Shed = %d, want 4", st.Shed)
+	}
+	if got := reg.Counter(obs.CoreStreamShed).Value(); got != 4 {
+		t.Fatalf("%s = %d, want 4", obs.CoreStreamShed, got)
+	}
+	if got := reg.Counter(obs.CoreStreamSubmitted).Value(); got != 8 {
+		t.Fatalf("%s = %d, want 8", obs.CoreStreamSubmitted, got)
+	}
+}
+
+func TestDroppedConvergedSurfaced(t *testing.T) {
+	p := testPair(33)
+	cfg := smallConfig(33)
+	e := New(p.DS1, p.DS2, cfg)
+	e.SetInitialLinks(initialLinks(p))
+	reg := obs.NewRegistry()
+	e.SetObserver(reg)
+	oracle := feedback.NewOracle(p.Truth, 0, rand.New(rand.NewSource(33)))
+	e.Run(SerialJudge(oracle.JudgeFunc()), nil)
+	if !e.Converged() {
+		t.Skip("engine did not converge within MaxEpisodes")
+	}
+	items := truthFeedback(e, p.Truth, 5)
+	if len(items) == 0 {
+		t.Fatal("no candidates to feed back on")
+	}
+	st := e.ApplyEpisode(items)
+	if st.DroppedConverged != len(items) {
+		t.Errorf("DroppedConverged = %d, want %d", st.DroppedConverged, len(items))
+	}
+	if got := reg.Counter(obs.CoreFeedbackDroppedConverged).Value(); got != int64(len(items)) {
+		t.Errorf("%s = %d, want %d", obs.CoreFeedbackDroppedConverged, got, len(items))
+	}
+}
+
+// TestStreamWorkerCountDeterminism drives the identical submission
+// sequence through engines at worker counts 1 and 4: candidate sets and
+// episode accounting must match exactly.
+func TestStreamWorkerCountDeterminism(t *testing.T) {
+	run := func(workers int) (*linkset.Set, []EpisodeStats, StreamStats) {
+		p := testPair(34)
+		cfg := smallConfig(34)
+		cfg.Workers = workers
+		e := New(p.DS1, p.DS2, cfg)
+		e.SetInitialLinks(initialLinks(p))
+		items := truthFeedback(e, p.Truth, 40)
+		s := e.FeedbackStream(StreamConfig{Capacity: 64, BatchSize: 16})
+		var eps []EpisodeStats
+		for i := 0; i < len(items); i += 5 {
+			end := min(i+5, len(items))
+			_, applied := s.Submit(items[i:end]...)
+			eps = append(eps, applied...)
+		}
+		eps = append(eps, s.Flush()...)
+		return e.Candidates(), eps, s.Stats()
+	}
+	c1, e1, s1 := run(1)
+	c4, e4, s4 := run(4)
+	if s1 != s4 {
+		t.Fatalf("stream stats differ: %+v vs %+v", s1, s4)
+	}
+	if len(e1) != len(e4) {
+		t.Fatalf("episode counts differ: %d vs %d", len(e1), len(e4))
+	}
+	for i := range e1 {
+		if e1[i] != e4[i] {
+			t.Errorf("episode %d stats differ:\n  w1: %+v\n  w4: %+v", i, e1[i], e4[i])
+		}
+	}
+	if got, want := fmt.Sprint(c1.Links()), fmt.Sprint(c4.Links()); got != want {
+		t.Error("candidate sets differ between worker counts")
+	}
+}
+
+// TestStreamConcurrentRace hammers concurrent Submit against episode
+// reads — meaningful under `go test -race` (the race target covers
+// internal/core).
+func TestStreamConcurrentRace(t *testing.T) {
+	p := testPair(35)
+	cfg := smallConfig(35)
+	cfg.Workers = 4
+	e := New(p.DS1, p.DS2, cfg)
+	e.SetInitialLinks(initialLinks(p))
+	reg := obs.NewRegistry()
+	e.SetObserver(reg)
+	items := truthFeedback(e, p.Truth, 60)
+	s := e.FeedbackStream(StreamConfig{Capacity: 256, BatchSize: 8})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(items); i += 4 {
+				s.Submit(items[i])
+			}
+		}()
+	}
+	newSubj := rdf.NewIRI("http://race.test/new")
+	p.DS1.Add(rdf.Triple{S: newSubj, P: rdf.NewIRI("http://race.test/p/name"), O: rdf.NewString("race test entity")})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e.Candidates()
+				e.Converged()
+				for pi := 0; pi < e.Partitions(); pi++ {
+					e.PartitionConverged(pi)
+					e.SpaceStats(pi)
+				}
+				e.SyncStores()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Flush()
+	if id, ok := p.Dict.Lookup(newSubj); ok {
+		if _, routed := e.PartitionOf(id); !routed {
+			t.Error("synced subject was not routed to a partition")
+		}
+	} else {
+		t.Error("new subject not interned")
+	}
+}

@@ -1,6 +1,7 @@
 package endpoint
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -56,6 +57,37 @@ func BenchmarkEndpointRepeatQueryHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := query(context.Background(), benchQuery); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndpointFeedback measures the live-feedback ingestion path
+// end to end: JSON decode, IRI resolution, stream submit, and a forced
+// flush so every request pays the episode-apply cost. Pinned by the CI
+// bench gate — this is the per-request price of the streaming loop.
+func BenchmarkEndpointFeedback(b *testing.B) {
+	w := newFeedbackWorld(b, 8)
+	links := w.pair.Truth.Links()
+	if len(links) < 8 {
+		b.Fatalf("only %d truth links", len(links))
+	}
+	// Rotate over a few pre-marshalled bodies so iterations are not
+	// byte-identical requests.
+	var bodies [][]byte
+	for i := 0; i+8 <= len(links) && len(bodies) < 4; i += 8 {
+		bodies = append(bodies, w.requestFor(links[i:i+8], true))
+	}
+	if _, resp := w.post(b, bodies[0]); resp == nil {
+		b.Fatal("prime request failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/feedback", bytes.NewReader(bodies[i%len(bodies)]))
+		rec := httptest.NewRecorder()
+		w.handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 		}
 	}
 }

@@ -45,15 +45,17 @@ type TraceFunc func(ctx context.Context, query string) (*Result, *obs.Trace, err
 //	GET      /metrics       JSON metrics snapshot (see SetObserver)
 //	GET/POST /debug/trace   per-query span tree (see SetTraceFunc)
 type Handler struct {
-	query QueryFunc
-	stats func() map[string]any
-	mux   *http.ServeMux
+	query    QueryFunc
+	stats    func() map[string]any
+	feedback FeedbackFunc
+	mux      *http.ServeMux
 
 	// Observability. Set both before serving; instruments are nil-safe
 	// no-ops while unset.
 	obsReg     *obs.Registry
 	trace      TraceFunc
 	cRequests  *obs.Counter
+	cFeedback  *obs.Counter
 	hRequestNS *obs.Histogram
 }
 
@@ -82,6 +84,7 @@ func NewHandler(st *store.Store) *Handler {
 func NewQueryHandler(query QueryFunc, stats func() map[string]any) *Handler {
 	h := &Handler{query: query, stats: stats, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/sparql", h.handleQuery)
+	h.mux.HandleFunc("/feedback", h.handleFeedback)
 	h.mux.HandleFunc("/stats", h.handleStats)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	h.mux.HandleFunc("/debug/trace", h.handleTrace)
@@ -89,12 +92,14 @@ func NewQueryHandler(query QueryFunc, stats func() map[string]any) *Handler {
 }
 
 // SetObserver attaches a metrics registry: endpoint.requests and
-// endpoint.request_ns record query requests and their latency, and
-// endpoint.status.<code> counts responses per HTTP status. The registry
-// also backs /metrics. Call before serving.
+// endpoint.request_ns record query requests and their latency,
+// endpoint.status.<code> counts responses per HTTP status, and
+// endpoint.feedback.requests counts POST /feedback submissions. The
+// registry also backs /metrics. Call before serving.
 func (h *Handler) SetObserver(reg *obs.Registry) {
 	h.obsReg = reg
 	h.cRequests = reg.Counter(obs.EndpointRequests)
+	h.cFeedback = reg.Counter(obs.EndpointFeedbackRequests)
 	h.hRequestNS = reg.Histogram(obs.EndpointRequestNS)
 }
 

@@ -1,0 +1,256 @@
+// Incremental maintenance of a Space under triple upserts.
+//
+// The entry points below keep a built Space equivalent — byte-identical
+// under DumpCanonical — to a from-scratch Build over the same final
+// store state, while touching only the pairs a delta can actually
+// affect. The affected set is derived from token blocking: a pair
+// (l, r) exists only if l and r share a blocking token, so a change to
+// a DS2 subject r can only create, destroy or rescore pairs whose left
+// side shares a token with r's old or new token set. Changed left
+// subjects are rescored wholesale (their candidate set is re-derived
+// from the live blocks), which also covers attribute changes that move
+// no tokens — e.g. an added IRI-valued attribute contributes no
+// blocking key but still reshapes the similarity matrix of every
+// existing pair of that subject.
+package feature
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"alex/internal/linkset"
+	"alex/internal/obs"
+	"alex/internal/rdf"
+	"alex/internal/store"
+)
+
+// SetObserver attaches delta instruments to the registry. Spaces built
+// without an observer count into nil-safe no-ops.
+func (sp *Space) SetObserver(reg *obs.Registry) {
+	sp.cUpserts = reg.Counter(obs.FeatureDeltaUpserts)
+	sp.cRemoves = reg.Counter(obs.FeatureDeltaRemoves)
+	sp.cObjDeltas = reg.Counter(obs.FeatureDeltaObjectDeltas)
+	sp.cSplices = reg.Counter(obs.FeatureDeltaSplices)
+}
+
+// UpsertSubject adds subj to the partition (or refreshes it after its
+// DS1 entity changed) and rescores exactly its candidate pairs. ds1 and
+// ds2 must be the stores the Space was built over.
+func (sp *Space) UpsertSubject(ds1 *store.Store, subj rdf.TermID, ds2 *store.Store) {
+	sp.cUpserts.Inc()
+	if _, ok := sp.members[subj]; !ok {
+		sp.members[subj] = struct{}{}
+		sp.totalPairs = len(sp.members) * sp.ds2Count
+	}
+	sp.setLeftTokens(subj, subjectTokens(ds1, subj))
+	sp.rescoreSubject(ds1, subj, ds2)
+}
+
+// RemoveSubject drops subj and all its pairs from the partition.
+func (sp *Space) RemoveSubject(subj rdf.TermID) {
+	if _, ok := sp.members[subj]; !ok {
+		return
+	}
+	sp.cRemoves.Inc()
+	delete(sp.members, subj)
+	sp.totalPairs = len(sp.members) * sp.ds2Count
+	sp.setLeftTokens(subj, nil)
+	for _, l := range sp.leftPairs[subj] {
+		sp.removePair(l)
+	}
+	delete(sp.leftPairs, subj)
+}
+
+// ApplyObjectDelta ingests DS2-side changes: changed lists the ds2
+// subjects whose entities were added, extended or retracted since the
+// last delta. It rewrites their posting lists and rescores every
+// partition subject sharing a blocking token with a changed subject's
+// old or new token set — the exact set of lefts whose candidate lists
+// or feature sets can differ. Returns the number of rescored subjects.
+func (sp *Space) ApplyObjectDelta(ds1, ds2 *store.Store, changed []rdf.TermID) int {
+	count := len(ds2.Subjects())
+	if len(changed) == 0 {
+		if count != sp.ds2Count {
+			sp.ds2Count = count
+			sp.totalPairs = len(sp.members) * sp.ds2Count
+		}
+		return 0
+	}
+	sp.cObjDeltas.Inc()
+	affected := map[rdf.TermID]struct{}{}
+	mark := func(toks []string) {
+		for _, tok := range toks {
+			for l := range sp.tokLeft[tok] {
+				affected[l] = struct{}{}
+			}
+		}
+	}
+	for _, r := range changed {
+		oldToks := sp.block.bySubject[r]
+		newToks := subjectTokens(ds2, r)
+		mark(oldToks)
+		mark(newToks)
+		sp.block.update(r, oldToks, newToks)
+	}
+	sp.ds2Count = count
+	sp.totalPairs = len(sp.members) * sp.ds2Count
+	lefts := make([]rdf.TermID, 0, len(affected))
+	for l := range affected {
+		lefts = append(lefts, l)
+	}
+	sort.Slice(lefts, func(i, j int) bool { return lefts[i] < lefts[j] })
+	for _, l := range lefts {
+		sp.rescoreSubject(ds1, l, ds2)
+	}
+	return len(lefts)
+}
+
+// rescoreSubject replaces every pair of one partition subject: old pairs
+// are spliced out of the per-feature indexes, the subject is rescored
+// against the live blocks, and the surviving pairs spliced back in.
+func (sp *Space) rescoreSubject(ds1 *store.Store, subj rdf.TermID, ds2 *store.Store) {
+	for _, l := range sp.leftPairs[subj] {
+		sp.removePair(l)
+	}
+	delete(sp.leftPairs, subj)
+	scored := scoreSubject(ds1, subj, ds2, sp.block, sp.opt)
+	if len(scored) == 0 {
+		return
+	}
+	links := make([]linkset.Link, 0, len(scored))
+	for _, e := range scored {
+		sp.pairs[e.link] = e.fs
+		for i, f := range e.fs.Features {
+			sp.spliceIn(f, e.fs.Scores[i], e.link)
+		}
+		links = append(links, e.link)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].Right < links[j].Right })
+	sp.leftPairs[subj] = links
+}
+
+// removePair deletes one pair and splices its entries out of every
+// feature index it appears in.
+func (sp *Space) removePair(l linkset.Link) {
+	fs, ok := sp.pairs[l]
+	if !ok {
+		return
+	}
+	delete(sp.pairs, l)
+	for i, f := range fs.Features {
+		sp.spliceOut(f, fs.Scores[i], l)
+	}
+}
+
+// entryAfter reports whether index entry e sorts strictly after the
+// (score, link) key in the per-feature order: score asc, then Left,
+// then Right. The order is total and unique — a link appears at most
+// once per feature index — so binary-search splices land exactly where
+// Build's final sort would have put the entry.
+func entryAfter(e scoredLink, score float64, l linkset.Link) bool {
+	if e.score != score {
+		return e.score > score
+	}
+	if e.link.Left != l.Left {
+		return e.link.Left > l.Left
+	}
+	return e.link.Right > l.Right
+}
+
+// spliceIn binary-search-inserts one entry into a feature's score index.
+func (sp *Space) spliceIn(f Feature, score float64, l linkset.Link) {
+	sp.cSplices.Inc()
+	entries := sp.index[f]
+	i := sort.Search(len(entries), func(i int) bool { return entryAfter(entries[i], score, l) })
+	entries = append(entries, scoredLink{})
+	copy(entries[i+1:], entries[i:])
+	entries[i] = scoredLink{score: score, link: l}
+	sp.index[f] = entries
+}
+
+// spliceOut binary-search-removes one entry from a feature's score
+// index, deleting the feature key when its last entry goes (Build never
+// materializes an empty index, so Features() stays equivalent).
+func (sp *Space) spliceOut(f Feature, score float64, l linkset.Link) {
+	sp.cSplices.Inc()
+	entries := sp.index[f]
+	i := sort.Search(len(entries), func(i int) bool { return !less(entries[i], score, l) })
+	if i >= len(entries) || entries[i].score != score || entries[i].link != l {
+		return
+	}
+	entries = append(entries[:i], entries[i+1:]...)
+	if len(entries) == 0 {
+		delete(sp.index, f)
+		return
+	}
+	sp.index[f] = entries
+}
+
+// less reports whether entry e sorts strictly before the (score, link) key.
+func less(e scoredLink, score float64, l linkset.Link) bool {
+	if e.score != score {
+		return e.score < score
+	}
+	if e.link.Left != l.Left {
+		return e.link.Left < l.Left
+	}
+	return e.link.Right < l.Right
+}
+
+// setLeftTokens rewrites the DS1-side token index entries of one
+// partition subject; nil toks removes the subject from the index.
+func (sp *Space) setLeftTokens(subj rdf.TermID, toks []string) {
+	for _, tok := range sp.leftTok[subj] {
+		if set := sp.tokLeft[tok]; set != nil {
+			delete(set, subj)
+			if len(set) == 0 {
+				delete(sp.tokLeft, tok)
+			}
+		}
+	}
+	if len(toks) == 0 {
+		delete(sp.leftTok, subj)
+		return
+	}
+	sp.leftTok[subj] = toks
+	for _, tok := range toks {
+		set := sp.tokLeft[tok]
+		if set == nil {
+			set = map[rdf.TermID]struct{}{}
+			sp.tokLeft[tok] = set
+		}
+		set[subj] = struct{}{}
+	}
+}
+
+// DumpCanonical writes a canonical text rendering of the Space — the
+// equivalence contract between incremental maintenance and a
+// from-scratch Build: two Spaces over the same final store state must
+// dump byte-identically. Scores are formatted as hexadecimal floats, so
+// equality means bit-equality.
+func (sp *Space) DumpCanonical(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "space total=%d pairs=%d features=%d\n", sp.totalPairs, len(sp.pairs), len(sp.index))
+	for _, l := range sp.Links() {
+		fs := sp.pairs[l]
+		fmt.Fprintf(bw, "pair %d %d", l.Left, l.Right)
+		for i, f := range fs.Features {
+			fmt.Fprintf(bw, " (%d,%d)=%s", f.P1, f.P2, strconv.FormatFloat(fs.Scores[i], 'x', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, f := range sp.Features() {
+		fmt.Fprintf(bw, "index (%d,%d)", f.P1, f.P2)
+		for _, e := range sp.index[f] {
+			fmt.Fprintf(bw, " %s@%d,%d", strconv.FormatFloat(e.score, 'x', -1, 64), e.link.Left, e.link.Right)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("feature: dump canonical: %w", err)
+	}
+	return nil
+}

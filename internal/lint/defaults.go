@@ -22,6 +22,11 @@ func DefaultAnalyzers(modulePath string) []Analyzer {
 				internal("datagen"),
 				internal("faultinject"),
 				internal("traffic"),
+				// Streaming ALEX: the live feedback/delta paths promise
+				// worker-count-independent results, so no unseeded
+				// randomness or clock reads may steer them.
+				internal("core"),
+				internal("feature"),
 			},
 			// Observability is timing plumbing by design: its clock reads
 			// feed latency metrics, never deterministic outputs.

@@ -36,6 +36,9 @@ const (
 const (
 	EndpointRequests  = "endpoint.requests"
 	EndpointRequestNS = "endpoint.request_ns"
+	// EndpointFeedbackRequests counts POST /feedback requests accepted
+	// by the streaming-feedback route.
+	EndpointFeedbackRequests = "endpoint.feedback.requests"
 )
 
 // High-traffic serving layer (internal/endpoint cache.go, admission.go).
@@ -105,6 +108,42 @@ const (
 	// (Config.Workers): the bound on goroutines used for space
 	// construction and episode execution.
 	CoreExploreWorkers = "core.explore.workers"
+	// CoreFeedbackDroppedConverged counts feedback items discarded
+	// because they were routed to a partition that had already converged
+	// (frozen partitions take no further feedback).
+	CoreFeedbackDroppedConverged = "core.feedback.dropped_converged"
+)
+
+// Streaming feedback ingestion (internal/core stream.go).
+const (
+	// CoreStreamSubmitted counts feedback items accepted into the stream
+	// buffer.
+	CoreStreamSubmitted = "core.stream.submitted"
+	// CoreStreamShed counts feedback items shed because the stream
+	// buffer was at capacity.
+	CoreStreamShed = "core.stream.shed"
+	// CoreStreamBatches counts batched applies the stream drove through
+	// the engine.
+	CoreStreamBatches = "core.stream.batches"
+	// CoreStreamQueueDepth gauges feedback items currently buffered and
+	// not yet applied.
+	CoreStreamQueueDepth = "core.stream.queue_depth"
+)
+
+// Incremental feature-space maintenance (internal/feature delta.go).
+const (
+	// FeatureDeltaUpserts counts partition-subject upserts applied to
+	// live feature spaces.
+	FeatureDeltaUpserts = "feature.delta.upserts"
+	// FeatureDeltaRemoves counts partition-subject removals applied to
+	// live feature spaces.
+	FeatureDeltaRemoves = "feature.delta.removes"
+	// FeatureDeltaObjectDeltas counts DS2-side object-delta batches
+	// applied to live feature spaces.
+	FeatureDeltaObjectDeltas = "feature.delta.object_deltas"
+	// FeatureDeltaSplices counts binary-search insert/remove splices on
+	// per-feature sorted score indexes.
+	FeatureDeltaSplices = "feature.delta.splices"
 )
 
 // Bulk data loading (internal/store load.go).
@@ -171,8 +210,8 @@ const (
 
 // SimOpNS names the per-operation-kind latency histogram of the traffic
 // simulator (kinds: select_entity, ask_entity, fed_join, fed_ask,
-// repeat_query, mutate_reread, feedback, bulk_load, outage_toggle,
-// crash_restart).
+// repeat_query, mutate_reread, feedback, feedback_http, live_upsert,
+// bulk_load, outage_toggle, crash_restart).
 func SimOpNS(kind string) string { return "sim.op." + kind + ".ns" }
 
 // FedSourceMatchNS names the per-source match-latency histogram.
@@ -211,6 +250,7 @@ func MetricNames() []string {
 		CoreEpisodeNS,
 		CoreExplorations,
 		CoreExploreWorkers,
+		CoreFeedbackDroppedConverged,
 		CoreFeedbackNegative,
 		CoreFeedbackPositive,
 		CoreLinksAdded,
@@ -218,10 +258,15 @@ func MetricNames() []string {
 		CorePickExplore,
 		CorePickGreedy,
 		CoreRollbacks,
+		CoreStreamBatches,
+		CoreStreamQueueDepth,
+		CoreStreamShed,
+		CoreStreamSubmitted,
 		EndpointAdmissionActive,
 		EndpointAdmissionQueueDepth,
 		EndpointAdmissionQueued,
 		EndpointAdmissionRejected,
+		EndpointFeedbackRequests,
 		EndpointPreparedEvictions,
 		EndpointPreparedHits,
 		EndpointPreparedMisses,
@@ -231,6 +276,10 @@ func MetricNames() []string {
 		EndpointResultHits,
 		EndpointResultInvalidations,
 		EndpointResultMisses,
+		FeatureDeltaObjectDeltas,
+		FeatureDeltaRemoves,
+		FeatureDeltaSplices,
+		FeatureDeltaUpserts,
 		FedBoundJoinBatches,
 		FedBoundJoinRows,
 		FedBreakerOpens,

@@ -144,6 +144,16 @@ func (h *harness) finish(ctx context.Context) {
 			h.assertRecovery(ctx, name)
 		}
 	}
+	// Drain the feedback stream before the endpoint: feedback_http always
+	// flushes, so a non-empty buffer here is itself a bug.
+	if h.w.stream != nil {
+		if applied := h.w.stream.Flush(); len(applied) != 0 {
+			h.violate("stream_drained", fmt.Sprintf("%d batches were still buffered at shutdown", len(applied)))
+		}
+		st := h.w.stream.Stats()
+		h.logf("inv stream_drained submitted=%d shed=%d batches=%d applied=%d ok",
+			st.Submitted, st.Shed, st.Batches, st.Applied)
+	}
 	if err := h.w.drainServer(ctx); err != nil {
 		h.violate("drain_clean", fmt.Sprintf("drain failed: %s", errClass(err)))
 	} else if n := h.w.server.InFlight(); n != 0 {

@@ -3,13 +3,17 @@ package traffic
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
+	"net/http"
 	"sort"
 	"strings"
 
 	"alex/internal/core"
+	"alex/internal/endpoint"
 	"alex/internal/fed"
 	"alex/internal/rdf"
 	"alex/internal/sparql"
@@ -30,6 +34,8 @@ var opFuncs = map[string]func(ctx context.Context, w *world, rng *rand.Rand) (st
 	OpRepeatQuery:  opRepeatQuery,
 	OpMutateReread: opMutateReread,
 	OpCrashRestart: opCrashRestart,
+	OpLiveUpsert:   opLiveUpsert,
+	OpFeedbackHTTP: opFeedbackHTTP,
 }
 
 // opSelectEntity fetches one DS1 entity's attributes over the SPARQL
@@ -279,6 +285,123 @@ func opCrashRestart(ctx context.Context, w *world, rng *rand.Rand) (string, erro
 	w.durable = d
 	return fmt.Sprintf("replayed=%d snap_triples=%d torn=%d snap_equal=%t reads_equal=%t",
 		rec.WALRecords, rec.SnapshotTriples, rec.TornBytes, snapEqual, readsEqual), nil
+}
+
+// opLiveUpsert grows DS1 with a brand-new subject mid-run, occasionally
+// also extending a DS2 entity, and folds both into the engine's feature
+// spaces through the incremental delta path: ApplyObjectDeltas for the
+// reported DS2 edit, SyncStores for the new subject. The new subject's
+// name copies a sampled DS2 literal, so the newcomer genuinely scores
+// against the right side. A serial barrier; the cursor, the partition
+// routing and the space sizes in the detail are deterministic at any
+// worker count. The sampled pools never grow, so read ops stay on the
+// original entities.
+func opLiveUpsert(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("live_upsert: %w", err)
+	}
+	id := w.liveSeq
+	w.liveSeq++
+	r := w.subjects2[rng.Intn(len(w.subjects2))]
+	name := fmt.Sprintf("live entity %d", id)
+	for _, t := range w.ds2.Match(r, rdf.NoTerm, rdf.NoTerm) {
+		if o := w.dict.Term(t.O); o.Kind == rdf.KindLiteral {
+			name = o.Value
+			break
+		}
+	}
+	subjIRI := rdf.NewIRI(fmt.Sprintf("http://alexsim.invalid/live/e%d", id))
+	w.ds1.Add(rdf.Triple{S: subjIRI, P: rdf.NewIRI("http://alexsim.invalid/live/name"), O: rdf.NewString(name)})
+	touched := 0
+	if rng.Intn(3) == 0 {
+		w.ds2.Add(rdf.Triple{
+			S: w.dict.Term(r),
+			P: rdf.NewIRI("http://alexsim.invalid/live/tag"),
+			O: rdf.NewString(fmt.Sprintf("live tag %d", id)),
+		})
+		w.engine.ApplyObjectDeltas(r)
+		touched = 1
+	}
+	st := w.engine.SyncStores()
+	subj, _ := w.dict.Lookup(subjIRI)
+	part, routed := w.engine.PartitionOf(subj)
+	if !routed {
+		return fmt.Sprintf("id=%d", id), fmt.Errorf("live_upsert: new subject %d not routed", subj)
+	}
+	pairs := 0
+	for i := 0; i < w.engine.Partitions(); i++ {
+		total, _ := w.engine.SpaceStats(i)
+		pairs += total
+	}
+	return fmt.Sprintf("id=%d part=%d new_subj=%d new_obj=%d ds2_touched=%d pairs=%d",
+		id, part, st.NewSubjects, st.NewObjects, touched, pairs), nil
+}
+
+// opFeedbackHTTP judges sampled candidate links against the ground truth
+// and submits the verdicts over the wire: POST /feedback with flush, so
+// the whole streaming path — JSON, IRI resolution, stream batching,
+// episode apply, federation link refresh — runs before the response. The
+// judging and ledger rules mirror opFeedback exactly; only the transport
+// differs. A serial barrier, and the response fields it logs are pure
+// functions of world state and seed.
+func opFeedbackHTTP(ctx context.Context, w *world, rng *rand.Rand) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", fmt.Errorf("feedback_http: %w", err)
+	}
+	cands := w.engine.Candidates().Links()
+	if len(cands) == 0 {
+		return "items=0 noop", nil
+	}
+	k := 8 + rng.Intn(24)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	idx := rng.Perm(len(cands))[:k]
+	sort.Ints(idx)
+	req := endpoint.FeedbackRequest{Flush: true}
+	pos := 0
+	for _, i := range idx {
+		l := cands[i]
+		approved := w.truth.Contains(l)
+		if approved {
+			pos++
+		}
+		req.Items = append(req.Items, endpoint.FeedbackItem{
+			Left:     w.dict.Term(l.Left).Value,
+			Right:    w.dict.Term(l.Right).Value,
+			Approved: approved,
+		})
+		// Same ledger rule as opFeedback: verdicts routed to converged
+		// (frozen) partitions never enter the invariant ledger.
+		if pi, ok := w.engine.PartitionOf(l.Left); ok && !w.engine.PartitionConverged(pi) {
+			w.recordJudgement(l, approved)
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Sprintf("items=%d", k), fmt.Errorf("feedback_http: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.feedbackURL, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Sprintf("items=%d", k), fmt.Errorf("feedback_http: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	w.httpOps.Add(1)
+	resp, err := w.httpc.Do(httpReq)
+	if err != nil {
+		return fmt.Sprintf("items=%d", k), fmt.Errorf("feedback_http: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Sprintf("items=%d", k), fmt.Errorf("feedback_http: status %d", resp.StatusCode)
+	}
+	var fr endpoint.FeedbackResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return fmt.Sprintf("items=%d", k), fmt.Errorf("feedback_http: %w", err)
+	}
+	return fmt.Sprintf("items=%d pos=%d neg=%d accepted=%d batches=%d dropped_conv=%d candidates=%d",
+		k, pos, k-pos, fr.Accepted, fr.Batches, fr.DroppedConverged, fr.Candidates), nil
 }
 
 // skippedSuffix renders a partial result's skipped member names (sorted;

@@ -62,6 +62,18 @@ const (
 	// (sampled SPARQL digests) to the live store before re-attaching
 	// durability. Requires Config.DataDir; a serial barrier.
 	OpCrashRestart = "crash_restart"
+	// OpLiveUpsert grows DS1 with a brand-new subject mid-run (occasionally
+	// also extending a DS2 entity) and folds it into the engine's feature
+	// spaces through the incremental delta path — SyncStores and
+	// ApplyObjectDeltas, never a rebuild. Requires Config.Stream; a serial
+	// barrier.
+	OpLiveUpsert = "live_upsert"
+	// OpFeedbackHTTP judges sampled candidate links and submits the
+	// verdicts over the wire via POST /feedback with flush, exercising the
+	// full streaming ingestion path (JSON, IRI resolution, stream batching,
+	// episode apply, federation link refresh). Requires Config.Stream; a
+	// serial barrier.
+	OpFeedbackHTTP = "feedback_http"
 )
 
 // DefaultWeights is the standard operation mix: read-heavy, with enough
@@ -124,6 +136,13 @@ type Config struct {
 	// of them — fsync timing affects what survives a machine crash, not an
 	// in-process kill.
 	WALSync string
+	// Stream runs the streaming loop: the world serves POST /feedback
+	// backed by a core.FeedbackStream on the engine, and the live_upsert /
+	// feedback_http ops (auto-weighted in when Weights is nil) grow the
+	// stores and feed verdicts over the wire. Both ops are serial barriers
+	// and always flush, so the op log stays byte-identical at any Workers
+	// setting.
+	Stream bool
 	// Cache serves the endpoint through the prepared-query and result
 	// caches behind an admission controller sized above the worker count.
 	// Caching is answer-invisible by contract, so the op log of a run is
@@ -159,6 +178,10 @@ func (c Config) withDefaults() Config {
 			// Durable runs crash by default; explicit Weights stay exact.
 			c.Weights[OpCrashRestart] = 3
 		}
+		if c.Stream {
+			c.Weights[OpLiveUpsert] = 5
+			c.Weights[OpFeedbackHTTP] = 8
+		}
 	}
 	if c.OpLog == nil {
 		c.OpLog = io.Discard
@@ -193,6 +216,9 @@ func (c Config) validate() error {
 		if kind == OpCrashRestart && wgt > 0 && c.DataDir == "" {
 			return errors.New("traffic: crash_restart weight requires DataDir")
 		}
+		if (kind == OpLiveUpsert || kind == OpFeedbackHTTP) && wgt > 0 && !c.Stream {
+			return fmt.Errorf("traffic: %s weight requires Stream", kind)
+		}
 		total += wgt
 	}
 	if total == 0 {
@@ -220,6 +246,8 @@ var opKinds = map[string]bool{
 	OpRepeatQuery:  true,
 	OpMutateReread: true,
 	OpCrashRestart: true,
+	OpLiveUpsert:   true,
+	OpFeedbackHTTP: true,
 }
 
 // readOnlyKinds may execute concurrently within a batch; everything else

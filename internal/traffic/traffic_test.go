@@ -212,6 +212,53 @@ func TestRunDurableWALSyncModes(t *testing.T) {
 	}
 }
 
+// TestRunStreamDeterministicAcrossWorkers extends the determinism
+// contract to streaming runs: with live_upsert and feedback_http in the
+// mix (Config.Stream), the same seed must still produce byte-identical
+// op logs at any worker count, with zero violations, and both new op
+// kinds must actually have run.
+func TestRunStreamDeterministicAcrossWorkers(t *testing.T) {
+	var log1, log4 bytes.Buffer
+	cfg1 := testConfig(58, 1, &log1)
+	cfg1.Stream = true
+	cfg4 := testConfig(58, 4, &log4)
+	cfg4.Stream = true
+	rep1 := mustRun(t, cfg1)
+	rep4 := mustRun(t, cfg4)
+	if len(rep1.Sim.Violations) != 0 || len(rep4.Sim.Violations) != 0 {
+		t.Fatalf("violations: w1=%v w4=%v", rep1.Sim.Violations, rep4.Sim.Violations)
+	}
+	if !bytes.Equal(log1.Bytes(), log4.Bytes()) {
+		t.Fatalf("streaming op logs differ between workers=1 and workers=4 at %s",
+			firstDiff(log1.String(), log4.String()))
+	}
+	text := log1.String()
+	for _, line := range []string{"live_upsert", "feedback_http", "inv stream_drained"} {
+		if !strings.Contains(text, line) {
+			t.Errorf("op log missing %q", line)
+		}
+	}
+	if cfg1.Obs.Counter(obs.CoreStreamSubmitted).Value() == 0 {
+		t.Error("streaming run recorded no stream submissions")
+	}
+	if cfg1.Obs.Counter(obs.FeatureDeltaUpserts).Value() == 0 {
+		t.Error("streaming run recorded no feature-space upserts")
+	}
+}
+
+// TestStreamOpsRequireStream pins the validation coupling.
+func TestStreamOpsRequireStream(t *testing.T) {
+	cfg := testConfig(1, 1, nil)
+	cfg.Weights = map[string]int{OpSelectEntity: 1, OpFeedbackHTTP: 1}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("feedback_http weight without Stream accepted")
+	}
+	cfg.Weights = map[string]int{OpSelectEntity: 1, OpLiveUpsert: 1}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("live_upsert weight without Stream accepted")
+	}
+}
+
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := range al {

@@ -53,6 +53,12 @@ type world struct {
 	flaky     map[string]*faultinject.Source
 	admission *endpoint.Admission // nil unless cfg.Cache
 
+	// Streaming loop (cfg.Stream): the engine's feedback stream behind the
+	// endpoint's /feedback route, posted to via httpc at feedbackURL.
+	stream      *core.FeedbackStream
+	feedbackURL string
+	httpc       *http.Client
+
 	// subjects1/subjects2 are the entity samples ops draw from; preds1 the
 	// DS1 predicates for bound-predicate federated lookups; hotQueries the
 	// fixed pool repeat_query draws from (repeats are what give the result
@@ -67,10 +73,11 @@ type world struct {
 	// own served counter at the end of the run.
 	httpOps atomic.Int64
 
-	// Serial-op state: the bulk_load and mutate_reread entity cursors and
-	// the judged-link ledger (mutated only between batches).
+	// Serial-op state: the bulk_load, mutate_reread and live_upsert entity
+	// cursors and the judged-link ledger (mutated only between batches).
 	auxSeq    int
 	ds1Seq    int
+	liveSeq   int
 	episodes  int
 	judged    map[linkset.Link]bool
 	confirmed []linkset.Link
@@ -135,10 +142,11 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 	w.engine.SetInitialLinks(initialLinks(pair, cfg.Seed))
 
 	var served http.Handler
+	var handler *endpoint.Handler
 	if cfg.Cache {
 		cache := endpoint.NewQueryCache(endpoint.DefaultCacheConfig(), pair.DS1.Generation)
 		cache.SetObserver(cfg.Obs)
-		handler := endpoint.NewCachedHandler(pair.DS1, cache)
+		handler = endpoint.NewCachedHandler(pair.DS1, cache)
 		handler.SetObserver(cfg.Obs)
 		// Admission capacity sits above the worker bound, so a correct
 		// controller never sheds simulator traffic — asserted at the end
@@ -151,9 +159,21 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 		w.admission.SetObserver(cfg.Obs)
 		served = w.admission
 	} else {
-		handler := endpoint.NewHandler(pair.DS1)
+		handler = endpoint.NewHandler(pair.DS1)
 		handler.SetObserver(cfg.Obs)
 		served = handler
+	}
+	if cfg.Stream {
+		w.stream = w.engine.FeedbackStream(core.StreamConfig{})
+		// Every applied batch refreshes the federation's links — the
+		// generation bump that invalidates cached federated results — and
+		// counts as one feedback episode like the in-process op.
+		handler.SetFeedbackFunc(endpoint.EngineFeedbackFunc(w.engine, w.stream, pair.Dict,
+			func(core.EpisodeStats) {
+				w.fedn.SetLinks(w.engine.Candidates())
+				w.episodes++
+				w.episodeCounter.Inc()
+			}))
 	}
 	w.server = endpoint.NewServer(served)
 	if err := w.server.Start(); err != nil {
@@ -161,6 +181,8 @@ func buildWorld(ctx context.Context, cfg Config) (*world, error) {
 	}
 	w.httpTr = &http.Transport{MaxIdleConnsPerHost: cfg.Workers + 2}
 	w.client = endpoint.NewClient(dsName1, w.server.SparqlURL(), &http.Client{Transport: w.httpTr})
+	w.feedbackURL = w.server.URL() + "/feedback"
+	w.httpc = &http.Client{Transport: w.httpTr}
 
 	w.fedn = fed.New(pair.Dict, pair.DS1)
 	for _, st := range []*store.Store{pair.DS2, w.aux} {
